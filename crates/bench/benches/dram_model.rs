@@ -1,0 +1,31 @@
+//! Criterion bench: host-side cost of the DRAM model's access path
+//! (row-buffer bookkeeping plus weak-cell checks).
+use criterion::{criterion_group, criterion_main, Criterion};
+use pthammer_dram::{DramConfig, DramModule, FlipModelProfile};
+use pthammer_types::{Cycles, PhysAddr};
+
+fn bench_dram(c: &mut Criterion) {
+    let mut dram = DramModule::new(DramConfig::ddr3_8gib(FlipModelProfile::paper(), 7));
+    let row_span = dram.config().geometry.row_span_bytes();
+    let mut group = c.benchmark_group("dram");
+    group.sample_size(30);
+    let mut now = 0u64;
+    group.bench_function("row_hit_access", |b| {
+        b.iter(|| {
+            now += 100;
+            dram.access(PhysAddr::new(0x1000), Cycles::new(now))
+        })
+    });
+    group.bench_function("double_sided_conflict_accesses", |b| {
+        b.iter(|| {
+            now += 100;
+            dram.access(PhysAddr::new(10 * row_span), Cycles::new(now));
+            now += 100;
+            dram.access(PhysAddr::new(12 * row_span), Cycles::new(now))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dram);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion bench: host-side cost of one simulated double-sided implicit
+//! hammer iteration (the simulator's hottest path).
+use criterion::{criterion_group, criterion_main, Criterion};
+use pthammer::{
+    eviction::{LlcEvictionPool, TlbEvictionPool},
+    pairs::candidate_pairs,
+    spray::spray_page_tables,
+    AttackConfig, ImplicitHammer, PtHammer,
+};
+use pthammer_cache::{CacheHierarchyConfig, LlcConfig, ReplacementPolicy};
+use pthammer_dram::FlipModelProfile;
+use pthammer_kernel::System;
+use pthammer_machine::MachineConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_hammer_iteration(c: &mut Criterion) {
+    let mut cfg = MachineConfig::test_small(FlipModelProfile::invulnerable(), 3);
+    cfg.cache = CacheHierarchyConfig {
+        llc: LlcConfig {
+            slices: 2,
+            sets_per_slice: 256,
+            ways: 8,
+            latency: 18,
+            replacement: ReplacementPolicy::Srrip,
+            inclusive: true,
+        },
+        ..CacheHierarchyConfig::test_small(3)
+    };
+    let mut sys = System::undefended(cfg);
+    let pid = sys.spawn_process(1000).unwrap();
+    let config = AttackConfig {
+        spray_bytes: 512 << 20,
+        llc_profile_trials: 4,
+        ..AttackConfig::quick_test(3, false)
+    };
+    let tlb_pool = { let pages = PtHammer::tlb_eviction_pages(&sys); TlbEvictionPool::build(&mut sys, pid, &config, pages) }.unwrap();
+    let llc_pool = { let lines = PtHammer::llc_eviction_lines(&sys); LlcEvictionPool::build(&mut sys, pid, &config, lines) }.unwrap();
+    let spray = spray_page_tables(&mut sys, pid, &config).unwrap();
+    let row_span = sys.machine().config().dram.geometry.row_span_bytes();
+    let mut rng = StdRng::seed_from_u64(3);
+    let pair = candidate_pairs(&spray, row_span, 1, &mut rng)[0];
+    let hammer = ImplicitHammer::prepare(&mut sys, pid, pair, &tlb_pool, &llc_pool, 4).unwrap();
+
+    let mut group = c.benchmark_group("hammer");
+    group.sample_size(20);
+    group.bench_function("implicit_double_sided_iteration", |b| {
+        b.iter(|| hammer.hammer_round(&mut sys, pid).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_hammer_iteration);
+criterion_main!(benches);

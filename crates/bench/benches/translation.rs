@@ -1,0 +1,47 @@
+//! Criterion bench: host-side cost of address translation and memory access
+//! through the simulated machine.
+use criterion::{criterion_group, criterion_main, Criterion};
+use pthammer_dram::FlipModelProfile;
+use pthammer_kernel::{MmapOptions, System, VmaBacking};
+use pthammer_machine::MachineConfig;
+use pthammer_types::PAGE_SIZE;
+
+fn bench_translation(c: &mut Criterion) {
+    let mut sys = System::undefended(MachineConfig::test_small(FlipModelProfile::invulnerable(), 5));
+    let pid = sys.spawn_process(1000).unwrap();
+    let pages = 512u64;
+    let va = sys
+        .mmap(
+            pid,
+            pages * PAGE_SIZE,
+            MmapOptions {
+                populate: true,
+                backing: VmaBacking::Anonymous { fill_pattern: 7 },
+                ..MmapOptions::default()
+            },
+        )
+        .unwrap();
+
+    let mut group = c.benchmark_group("machine");
+    group.sample_size(20);
+    let mut i = 0u64;
+    group.bench_function("tlb_hit_read", |b| {
+        b.iter(|| sys.read_u64(pid, va).unwrap())
+    });
+    group.bench_function("tlb_miss_walk_read", |b| {
+        b.iter(|| {
+            i = (i + 1) % pages;
+            sys.read_u64(pid, va + i * PAGE_SIZE).unwrap()
+        })
+    });
+    group.bench_function("clflush_then_dram_read", |b| {
+        b.iter(|| {
+            sys.clflush(pid, va).unwrap();
+            sys.read_u64(pid, va).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_translation);
+criterion_main!(benches);

@@ -1,0 +1,12 @@
+//! Ablation: flips observed with and without a Target Row Refresh mitigation
+//! under the same explicit hammering workload.
+use pthammer_bench::{scenarios, ExperimentScale, MachineChoice};
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    println!("scale: {}", scale.describe());
+    let machine = MachineChoice::selected()[0];
+    let (without, with_trr) = scenarios::ablation_trr(machine, scale, 42);
+    println!("{}: flips without TRR = {without}, flips with TRR = {with_trr}", machine.name());
+    println!("Expected shape: TRR suppresses (or strongly reduces) flips from simple double-sided hammering.");
+}

@@ -1,0 +1,20 @@
+//! Reproduces the Section V discussion: an unmodified ANVIL-style detector
+//! sees explicit hammering but not PThammer; attributing implicit accesses
+//! restores detection.
+use pthammer_bench::{scenarios, ExperimentScale, MachineChoice};
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    println!("scale: {}", scale.describe());
+    let machine = MachineChoice::selected()[0];
+    let eval = scenarios::anvil_eval(machine, scale, 42);
+    println!(
+        "ANVIL (explicit loads only)  vs clflush double-sided hammer : detected = {} (rate {:.0}/Mcycle)",
+        eval.explicit_detected, eval.explicit_rate
+    );
+    println!("ANVIL (explicit loads only)  vs PThammer                    : detected = {}", eval.implicit_detected_naive);
+    println!(
+        "ANVIL (+implicit attribution) vs PThammer                   : detected = {} (implicit rate {:.0}/Mcycle)",
+        eval.implicit_detected_extended, eval.implicit_rate
+    );
+}

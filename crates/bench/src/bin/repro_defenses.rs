@@ -1,0 +1,31 @@
+//! Reproduces Section IV-G: PThammer against the software-only defenses
+//! (CATT, RIP-RH, CTA bypassed; ZebRAM stops the attack).
+use pthammer_bench::{scenarios, table, ExperimentScale, MachineChoice};
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    println!("scale: {}", scale.describe());
+    let widths = [12, 10, 8, 12, 10, 34];
+    table::header(
+        "Section IV-G: software-only defenses vs. PThammer",
+        &["Defense", "Escalated", "Flips", "Exploitable", "Attempts", "Route"],
+        &widths,
+    );
+    let machine = MachineChoice::selected()[0];
+    for defense in scenarios::DefenseChoice::all() {
+        let r = scenarios::defense_eval(machine, defense, scale, 42);
+        table::row(
+            &[
+                r.defense.clone(),
+                r.escalated.to_string(),
+                r.flips_observed.to_string(),
+                r.exploitable_flips.to_string(),
+                r.attempts.to_string(),
+                r.route.clone().unwrap_or_else(|| "-".to_string()),
+            ],
+            &widths,
+        );
+    }
+    println!("\nExpected shape: the undefended baseline, CATT, RIP-RH and CTA fall to the attack");
+    println!("(CTA via credential corruption rather than page-table takeover); ZebRAM does not.");
+}

@@ -1,0 +1,25 @@
+//! Reproduces Section IV-F: kernel privilege escalation on an undefended
+//! system (Figure 7 exploitation chain).
+use pthammer_bench::{scenarios, ExperimentScale, MachineChoice};
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    println!("scale: {}", scale.describe());
+    for machine in MachineChoice::selected() {
+        let result = scenarios::defense_eval(
+            machine,
+            scenarios::DefenseChoice::None,
+            scale,
+            42,
+        );
+        println!(
+            "{} (undefended): escalated={} after {} attempts, {} flips ({} exploitable), route {:?}",
+            machine.name(),
+            result.escalated,
+            result.attempts,
+            result.flips_observed,
+            result.exploitable_flips,
+            result.route
+        );
+    }
+}

@@ -1,0 +1,22 @@
+//! Reproduces Figure 3: TLB miss rate vs. TLB eviction-set size.
+use pthammer_bench::{scenarios, table, ExperimentScale, MachineChoice};
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    println!("scale: {}", scale.describe());
+    let widths = [14, 10, 12];
+    table::header(
+        "Figure 3: TLB miss rate vs. eviction-set size",
+        &["Machine", "Pages", "MissRate"],
+        &widths,
+    );
+    for machine in MachineChoice::selected() {
+        let sweep = scenarios::fig3_tlb_sweep(machine, scale, 42);
+        for (size, rate) in sweep {
+            table::row(
+                &[machine.name().to_string(), size.to_string(), table::fmt_f64(rate * 100.0, 1)],
+                &widths,
+            );
+        }
+    }
+}

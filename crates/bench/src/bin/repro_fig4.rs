@@ -1,0 +1,22 @@
+//! Reproduces Figure 4: LLC miss rate vs. LLC eviction-set size.
+use pthammer_bench::{scenarios, table, ExperimentScale, MachineChoice};
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    println!("scale: {}", scale.describe());
+    let widths = [14, 10, 12];
+    table::header(
+        "Figure 4: LLC miss rate vs. eviction-set size",
+        &["Machine", "Lines", "MissRate"],
+        &widths,
+    );
+    for machine in MachineChoice::selected() {
+        let sweep = scenarios::fig4_llc_sweep(machine, scale, 42);
+        for (size, rate) in sweep {
+            table::row(
+                &[machine.name().to_string(), size.to_string(), table::fmt_f64(rate * 100.0, 1)],
+                &widths,
+            );
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! Reproduces Figure 6: per-iteration cost of double-sided implicit
+//! hammering, in the default (6a) and superpage (6b) settings.
+use pthammer_bench::{scenarios, table, ExperimentScale, MachineChoice};
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    println!("scale: {}", scale.describe());
+    let widths = [14, 12, 10, 10, 10, 10];
+    table::header(
+        "Figure 6: cycles per double-sided implicit hammer iteration (50 samples)",
+        &["Machine", "Setting", "Min", "Median", "P90", "Max"],
+        &widths,
+    );
+    for machine in MachineChoice::selected() {
+        for superpages in [false, true] {
+            let mut samples = scenarios::fig6_hammer_samples(machine, superpages, scale, 42);
+            samples.sort_unstable();
+            let pct = |q: f64| samples[(q * (samples.len() - 1) as f64) as usize];
+            table::row(
+                &[
+                    machine.name().to_string(),
+                    if superpages { "superpage" } else { "regular" }.to_string(),
+                    samples[0].to_string(),
+                    pct(0.5).to_string(),
+                    pct(0.9).to_string(),
+                    samples[samples.len() - 1].to_string(),
+                ],
+                &widths,
+            );
+        }
+    }
+    println!("\nExpected shape: all samples sit well below the Figure 5 no-flip cutoff, and");
+    println!("the Dell E6420 (16-way LLC, slower DRAM) costs more per iteration than the Lenovos.");
+}

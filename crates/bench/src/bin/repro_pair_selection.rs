@@ -1,0 +1,19 @@
+//! Reproduces the Section IV-D experiment: accuracy of timing-based
+//! double-sided pair selection (paper: >95% same bank, ~90% one row apart).
+use pthammer_bench::{scenarios, ExperimentScale, MachineChoice};
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    println!("scale: {}", scale.describe());
+    for machine in MachineChoice::selected() {
+        let pairs = if scale.full { 64 } else { 16 };
+        let acc = scenarios::pair_selection_accuracy(machine, scale, pairs, 42);
+        println!(
+            "{}: flagged {:.0}% of candidates; of those {:.1}% same bank (paper >95%), {:.1}% exactly two rows apart (paper ~90%)",
+            machine.name(),
+            acc.flagged_fraction * 100.0,
+            acc.same_bank_fraction * 100.0,
+            acc.two_rows_apart_fraction * 100.0
+        );
+    }
+}

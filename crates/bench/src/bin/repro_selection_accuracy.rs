@@ -1,0 +1,18 @@
+//! Reproduces the Section IV-C experiment: false-positive rate of the LLC
+//! eviction-set selection (paper: no more than 6%).
+use pthammer_bench::{scenarios, ExperimentScale, MachineChoice};
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    println!("scale: {}", scale.describe());
+    for machine in MachineChoice::selected() {
+        let samples = if scale.full { 32 } else { 8 };
+        let fp = scenarios::selection_accuracy(machine, scale, samples, 42);
+        println!(
+            "{}: Algorithm 2 false-positive rate = {:.1}% over {} selections (paper: <= 6%)",
+            machine.name(),
+            fp * 100.0,
+            samples * 2
+        );
+    }
+}

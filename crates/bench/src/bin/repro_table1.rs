@@ -1,0 +1,14 @@
+//! Reproduces Table I: system configurations of the modelled machines.
+use pthammer_bench::table;
+
+fn main() {
+    let widths = [14, 24, 16, 14, 10];
+    table::header(
+        "Table I: System Configurations",
+        &["Machine", "TLB", "LLC", "DRAM", "Clock"],
+        &widths,
+    );
+    for row in pthammer_bench::scenarios::table1_rows() {
+        table::row(&row.to_vec(), &widths);
+    }
+}

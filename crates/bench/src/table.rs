@@ -1,0 +1,52 @@
+//! Minimal fixed-width table printing for the reproduction binaries.
+
+/// Prints a header line followed by a separator.
+pub fn header(title: &str, columns: &[&str], widths: &[usize]) {
+    println!("\n=== {title} ===");
+    let mut line = String::new();
+    for (c, w) in columns.iter().zip(widths) {
+        line.push_str(&format!("{c:<w$} ", w = w));
+    }
+    println!("{line}");
+    println!("{}", "-".repeat(line.len()));
+}
+
+/// Prints one row of already-formatted cells.
+pub fn row(cells: &[String], widths: &[usize]) {
+    let mut line = String::new();
+    for (c, w) in cells.iter().zip(widths) {
+        line.push_str(&format!("{c:<w$} ", w = w));
+    }
+    println!("{line}");
+}
+
+/// Formats a floating point value with the given precision.
+pub fn fmt_f64(value: f64, precision: usize) -> String {
+    format!("{value:.precision$}")
+}
+
+/// Formats an optional value, printing `-` when absent.
+pub fn fmt_opt<T: std::fmt::Display>(value: Option<T>) -> String {
+    match value {
+        Some(v) => v.to_string(),
+        None => "-".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_f64(1.23456, 2), "1.23");
+        assert_eq!(fmt_opt(Some(5)), "5");
+        assert_eq!(fmt_opt::<u64>(None), "-");
+    }
+
+    #[test]
+    fn header_and_row_do_not_panic() {
+        header("Test", &["a", "b"], &[5, 5]);
+        row(&["x".to_string(), "y".to_string()], &[5, 5]);
+    }
+}

@@ -1,0 +1,258 @@
+//! A single set-associative cache structure.
+
+use serde::{Deserialize, Serialize};
+
+use pthammer_types::PhysAddr;
+
+use crate::replacement::{ReplacementPolicy, SetMeta};
+
+/// Result of an access to one cache structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheAccess {
+    /// Whether the line was present.
+    pub hit: bool,
+    /// The set that was probed.
+    pub set: u32,
+}
+
+/// A physically-indexed set-associative cache (or one LLC slice).
+///
+/// Only presence is tracked; tags store the full cache-line address. Set
+/// selection uses `line_index % sets`, which matches real hardware when the
+/// set count is a power of two.
+///
+/// # Examples
+///
+/// ```
+/// use pthammer_cache::{ReplacementPolicy, SetAssociativeCache};
+/// use pthammer_types::PhysAddr;
+///
+/// let mut cache = SetAssociativeCache::new(64, 8, ReplacementPolicy::Lru, 1);
+/// let addr = PhysAddr::new(0x1000);
+/// assert!(!cache.access(addr).hit);
+/// cache.fill(addr);
+/// assert!(cache.access(addr).hit);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SetAssociativeCache {
+    sets: u32,
+    ways: u32,
+    tags: Vec<Vec<Option<u64>>>,
+    meta: Vec<SetMeta>,
+}
+
+impl SetAssociativeCache {
+    /// Creates a cache with `sets` sets of `ways` ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` is not a power of two or `ways` is zero.
+    pub fn new(sets: u32, ways: u32, replacement: ReplacementPolicy, seed: u64) -> Self {
+        assert!(sets.is_power_of_two() && sets > 0, "sets must be a power of two");
+        assert!(ways > 0, "ways must be non-zero");
+        let tags = vec![vec![None; ways as usize]; sets as usize];
+        let meta = (0..sets)
+            .map(|s| SetMeta::new(replacement, ways as usize, seed ^ (u64::from(s) << 17) | 1))
+            .collect();
+        Self {
+            sets,
+            ways,
+            tags,
+            meta,
+        }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> u32 {
+        self.sets
+    }
+
+    /// Associativity.
+    pub fn ways(&self) -> u32 {
+        self.ways
+    }
+
+    /// Set index of a physical address.
+    pub fn set_index(&self, paddr: PhysAddr) -> u32 {
+        (paddr.cache_line_index() % u64::from(self.sets)) as u32
+    }
+
+    fn line_tag(paddr: PhysAddr) -> u64 {
+        paddr.cache_line_index()
+    }
+
+    /// Probes for the line without updating replacement state.
+    pub fn contains(&self, paddr: PhysAddr) -> bool {
+        let set = self.set_index(paddr) as usize;
+        let tag = Self::line_tag(paddr);
+        self.tags[set].iter().any(|slot| *slot == Some(tag))
+    }
+
+    /// Looks up the line, updating replacement state on a hit.
+    pub fn access(&mut self, paddr: PhysAddr) -> CacheAccess {
+        let set = self.set_index(paddr);
+        let tag = Self::line_tag(paddr);
+        let set_idx = set as usize;
+        if let Some(way) = self.tags[set_idx].iter().position(|slot| *slot == Some(tag)) {
+            self.meta[set_idx].on_hit(way);
+            CacheAccess { hit: true, set }
+        } else {
+            CacheAccess { hit: false, set }
+        }
+    }
+
+    /// Inserts the line, returning the physical line address it displaced (if
+    /// any). Filling an already-present line only refreshes its replacement
+    /// state.
+    pub fn fill(&mut self, paddr: PhysAddr) -> Option<PhysAddr> {
+        let set = self.set_index(paddr) as usize;
+        let tag = Self::line_tag(paddr);
+        if let Some(way) = self.tags[set].iter().position(|slot| *slot == Some(tag)) {
+            self.meta[set].on_hit(way);
+            return None;
+        }
+        if let Some(way) = self.tags[set].iter().position(Option::is_none) {
+            self.tags[set][way] = Some(tag);
+            self.meta[set].on_fill(way);
+            return None;
+        }
+        let victim_way = self.meta[set].choose_victim(self.ways as usize);
+        let victim_tag = self.tags[set][victim_way].expect("occupied way");
+        self.tags[set][victim_way] = Some(tag);
+        self.meta[set].on_fill(victim_way);
+        Some(PhysAddr::new(victim_tag * 64))
+    }
+
+    /// Invalidates the line if present; returns whether it was present.
+    pub fn invalidate(&mut self, paddr: PhysAddr) -> bool {
+        let set = self.set_index(paddr) as usize;
+        let tag = Self::line_tag(paddr);
+        if let Some(way) = self.tags[set].iter().position(|slot| *slot == Some(tag)) {
+            self.tags[set][way] = None;
+            self.meta[set].on_invalidate(way);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Invalidates every line (e.g. `wbinvd`).
+    pub fn invalidate_all(&mut self) {
+        for set in &mut self.tags {
+            for slot in set {
+                *slot = None;
+            }
+        }
+    }
+
+    /// Number of valid lines currently held in the given set.
+    pub fn occupancy(&self, set: u32) -> usize {
+        self.tags[set as usize].iter().filter(|s| s.is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr_in_set(cache: &SetAssociativeCache, set: u32, n: u64) -> PhysAddr {
+        // Distinct lines that map to the same set: step by sets*64.
+        PhysAddr::new(u64::from(set) * 64 + n * u64::from(cache.sets()) * 64)
+    }
+
+    #[test]
+    fn fill_then_hit() {
+        let mut c = SetAssociativeCache::new(16, 4, ReplacementPolicy::Lru, 1);
+        let a = PhysAddr::new(0x1040);
+        assert!(!c.access(a).hit);
+        assert_eq!(c.fill(a), None);
+        assert!(c.access(a).hit);
+        assert!(c.contains(a));
+    }
+
+    #[test]
+    fn same_line_bytes_share_entry() {
+        let mut c = SetAssociativeCache::new(16, 4, ReplacementPolicy::Lru, 1);
+        c.fill(PhysAddr::new(0x1000));
+        assert!(c.access(PhysAddr::new(0x103f)).hit);
+        assert!(!c.access(PhysAddr::new(0x1040)).hit);
+    }
+
+    #[test]
+    fn lru_eviction_of_oldest_line() {
+        let mut c = SetAssociativeCache::new(16, 2, ReplacementPolicy::Lru, 1);
+        let a = addr_in_set(&c, 3, 0);
+        let b = addr_in_set(&c, 3, 1);
+        let d = addr_in_set(&c, 3, 2);
+        c.fill(a);
+        c.fill(b);
+        // Touch `a` so `b` is LRU.
+        c.access(a);
+        let evicted = c.fill(d);
+        assert_eq!(evicted, Some(b.cache_line_base()));
+        assert!(c.contains(a));
+        assert!(!c.contains(b));
+        assert!(c.contains(d));
+    }
+
+    #[test]
+    fn fill_existing_line_does_not_evict() {
+        let mut c = SetAssociativeCache::new(16, 2, ReplacementPolicy::Lru, 1);
+        let a = addr_in_set(&c, 5, 0);
+        let b = addr_in_set(&c, 5, 1);
+        c.fill(a);
+        c.fill(b);
+        assert_eq!(c.fill(a), None);
+        assert_eq!(c.occupancy(5), 2);
+    }
+
+    #[test]
+    fn invalidate_removes_line() {
+        let mut c = SetAssociativeCache::new(16, 4, ReplacementPolicy::Lru, 1);
+        let a = PhysAddr::new(0x2000);
+        c.fill(a);
+        assert!(c.invalidate(a));
+        assert!(!c.contains(a));
+        assert!(!c.invalidate(a));
+    }
+
+    #[test]
+    fn invalidate_all_empties_cache() {
+        let mut c = SetAssociativeCache::new(8, 2, ReplacementPolicy::Lru, 1);
+        for i in 0..16u64 {
+            c.fill(PhysAddr::new(i * 64));
+        }
+        c.invalidate_all();
+        for set in 0..8 {
+            assert_eq!(c.occupancy(set), 0);
+        }
+    }
+
+    #[test]
+    fn different_sets_do_not_interfere() {
+        let mut c = SetAssociativeCache::new(16, 1, ReplacementPolicy::Lru, 1);
+        let a = PhysAddr::new(0 * 64);
+        let b = PhysAddr::new(1 * 64);
+        c.fill(a);
+        c.fill(b);
+        assert!(c.contains(a));
+        assert!(c.contains(b));
+    }
+
+    #[test]
+    fn eviction_within_capacity_limits() {
+        let mut c = SetAssociativeCache::new(4, 3, ReplacementPolicy::Srrip, 9);
+        // Fill 10 lines mapping to set 0; occupancy can never exceed 3.
+        for n in 0..10 {
+            c.fill(addr_in_set(&c, 0, n));
+            assert!(c.occupancy(0) <= 3);
+        }
+        assert_eq!(c.occupancy(0), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_sets_rejected() {
+        let _ = SetAssociativeCache::new(12, 4, ReplacementPolicy::Lru, 1);
+    }
+}

@@ -1,0 +1,320 @@
+//! End-to-end PThammer orchestration.
+//!
+//! [`PtHammer::run`] executes the complete attack of the paper against a
+//! booted [`System`]: one-off eviction-pool preparation, page-table spraying,
+//! repeated pair selection / double-sided implicit hammering / checking, and
+//! finally exploitation of the first usable bit flip. The returned
+//! [`AttackOutcome`] carries the per-stage timings that Table II reports.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use pthammer_kernel::{Pid, System};
+
+use crate::config::AttackConfig;
+use crate::detect::scan_for_corrupted_mappings;
+use crate::error::AttackError;
+use crate::eviction::llc::LlcEvictionPool;
+use crate::eviction::tlb::TlbEvictionPool;
+use crate::exploit::attempt_escalation;
+use crate::hammer::implicit::ImplicitHammer;
+use crate::pairs::{candidate_pairs, conflict_threshold, verify_same_bank};
+use crate::report::{AttackOutcome, StageTimings};
+use crate::spray::spray_page_tables;
+
+/// The PThammer attack, parameterised by an [`AttackConfig`].
+#[derive(Debug, Clone)]
+pub struct PtHammer {
+    config: AttackConfig,
+}
+
+/// The prepared one-off state (pools + spray), exposed so that the benchmark
+/// harness can time and reuse the stages individually.
+#[derive(Debug, Clone)]
+pub struct PreparedAttack {
+    /// TLB eviction pool.
+    pub tlb_pool: TlbEvictionPool,
+    /// LLC eviction pool.
+    pub llc_pool: LlcEvictionPool,
+    /// The page-table spray region.
+    pub spray: crate::spray::SprayRegion,
+}
+
+impl PtHammer {
+    /// Creates the attack.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the configuration is invalid.
+    pub fn new(config: AttackConfig) -> Result<Self, AttackError> {
+        config
+            .validate()
+            .map_err(AttackError::InvalidConfig)?;
+        Ok(Self { config })
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &AttackConfig {
+        &self.config
+    }
+
+    /// Number of pages in the TLB eviction sets the attack uses: the paper's
+    /// 12 on the Table I machines (`L1 ways + 2 × L2 ways`).
+    pub fn tlb_eviction_pages(sys: &System) -> usize {
+        let mmu = &sys.machine().config().mmu;
+        (mmu.l1_dtlb.ways + 2 * mmu.l2_stlb.ways) as usize
+    }
+
+    /// Number of lines in the LLC eviction sets: one more than the LLC
+    /// associativity (13 on the Lenovo machines, 17 on the Dell).
+    pub fn llc_eviction_lines(sys: &System) -> usize {
+        sys.machine().config().cache.llc.ways as usize + 1
+    }
+
+    /// Runs the one-off preparation: TLB pool, LLC pool and the spray.
+    pub fn prepare(
+        &self,
+        sys: &mut System,
+        pid: Pid,
+    ) -> Result<PreparedAttack, AttackError> {
+        let tlb_pool =
+            TlbEvictionPool::build(sys, pid, &self.config, Self::tlb_eviction_pages(sys))?;
+        let llc_pool =
+            LlcEvictionPool::build(sys, pid, &self.config, Self::llc_eviction_lines(sys))?;
+        let spray = spray_page_tables(sys, pid, &self.config)?;
+        Ok(PreparedAttack {
+            tlb_pool,
+            llc_pool,
+            spray,
+        })
+    }
+
+    /// Runs the full attack.
+    pub fn run(&self, sys: &mut System, pid: Pid) -> Result<AttackOutcome, AttackError> {
+        let attack_start = sys.rdtsc();
+        let uid_before = sys.getuid(pid)?;
+        let machine = sys.machine().config().name.clone();
+        let clock_hz = sys.machine().clock_hz();
+        let defense = sys.policy_name().to_string();
+        let page_setting = if self.config.superpages {
+            "superpage".to_string()
+        } else {
+            "regular".to_string()
+        };
+
+        let prepared = self.prepare(sys, pid)?;
+        let row_span = sys.machine().config().dram.geometry.row_span_bytes();
+        let conflict_thr = conflict_threshold(sys);
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+
+        let mut timings = StageTimings {
+            tlb_pool_prep_cycles: prepared.tlb_pool.prep_cycles(),
+            llc_pool_prep_cycles: prepared.llc_pool.prep_cycles(),
+            ..StageTimings::default()
+        };
+
+        let mut attempts = 0usize;
+        let mut flips_observed = 0usize;
+        let mut exploitable_flips = 0usize;
+        let mut hammer_cycles_total = 0u64;
+        let mut check_cycles_total = 0u64;
+        let mut selection_cycles_total = 0u64;
+        let mut tlb_selection_cycles_total = 0u64;
+        let mut hammer_cycle_samples = Vec::new();
+        let mut dram_hits = 0u64;
+        let mut dram_rounds = 0u64;
+        let mut route = None;
+        let mut escalated_uid_after = uid_before;
+
+        'attempts: while attempts < self.config.max_attempts
+            && flips_observed < self.config.max_flips
+        {
+            let pairs = candidate_pairs(
+                &prepared.spray,
+                row_span,
+                self.config.pair_candidates_per_round,
+                &mut rng,
+            );
+            if pairs.is_empty() {
+                return Err(AttackError::NoHammerPairs);
+            }
+            for pair in pairs {
+                if attempts >= self.config.max_attempts {
+                    break 'attempts;
+                }
+                attempts += 1;
+
+                // Eviction-set selection for this pair.
+                let tlb_sel_start = sys.rdtsc();
+                let tlb_low = prepared.tlb_pool.minimal_eviction_set_for(pair.low);
+                let tlb_high = prepared.tlb_pool.minimal_eviction_set_for(pair.high);
+                tlb_selection_cycles_total += sys.rdtsc() - tlb_sel_start;
+                let _ = (&tlb_low, &tlb_high);
+
+                let hammer = ImplicitHammer::prepare(
+                    sys,
+                    pid,
+                    pair,
+                    &prepared.tlb_pool,
+                    &prepared.llc_pool,
+                    self.config.llc_profile_trials,
+                )?;
+                selection_cycles_total += hammer.selection_cycles();
+
+                // Same-bank verification; skip pairs that do not conflict.
+                let verification = verify_same_bank(
+                    sys,
+                    pid,
+                    pair,
+                    &hammer.tlb_low,
+                    &hammer.tlb_high,
+                    &hammer.llc_low,
+                    &hammer.llc_high,
+                    conflict_thr,
+                    5,
+                )?;
+                if !verification.same_bank {
+                    continue;
+                }
+
+                // Double-sided implicit hammering.
+                let stats = hammer.hammer(sys, pid, self.config.hammer_rounds_per_attempt)?;
+                hammer_cycles_total += stats.total_cycles;
+                dram_hits += stats.low_dram_hits + stats.high_dram_hits;
+                dram_rounds += 2 * stats.rounds;
+                if hammer_cycle_samples.len() < 50 {
+                    hammer_cycle_samples
+                        .extend(hammer.round_cycle_samples(sys, pid, 10)?);
+                }
+
+                // Check for corrupted mappings.
+                let (findings, check_cycles) =
+                    scan_for_corrupted_mappings(sys, pid, &prepared.spray, &pair, row_span)?;
+                check_cycles_total += check_cycles;
+                if !findings.is_empty() && timings.time_to_first_flip_cycles.is_none() {
+                    timings.time_to_first_flip_cycles = Some(sys.rdtsc() - attack_start);
+                }
+                flips_observed += findings.len();
+                exploitable_flips += findings.iter().filter(|f| f.is_exploitable()).count();
+
+                for finding in findings.iter().filter(|f| f.is_exploitable()) {
+                    if let Some(found_route) = attempt_escalation(
+                        sys,
+                        pid,
+                        &prepared.tlb_pool,
+                        &prepared.spray,
+                        finding,
+                        uid_before,
+                    )? {
+                        timings.time_to_escalation_cycles = Some(sys.rdtsc() - attack_start);
+                        escalated_uid_after = sys.getuid(found_route.escalated_pid())?;
+                        route = Some(found_route);
+                        break 'attempts;
+                    }
+                }
+            }
+        }
+
+        let attempts_u64 = attempts.max(1) as u64;
+        timings.tlb_selection_cycles = tlb_selection_cycles_total / attempts_u64;
+        timings.llc_selection_cycles = selection_cycles_total / attempts_u64;
+        timings.hammer_cycles_per_attempt = hammer_cycles_total / attempts_u64;
+        timings.check_cycles_per_attempt = check_cycles_total / attempts_u64;
+
+        let escalated = route.is_some();
+        Ok(AttackOutcome {
+            machine,
+            clock_hz,
+            page_setting,
+            defense,
+            escalated,
+            route,
+            attempts,
+            flips_observed,
+            exploitable_flips,
+            uid_before,
+            uid_after: escalated_uid_after,
+            timings,
+            hammer_cycle_samples,
+            implicit_dram_rate: if dram_rounds == 0 {
+                0.0
+            } else {
+                dram_hits as f64 / dram_rounds as f64
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pthammer_cache::{CacheHierarchyConfig, LlcConfig, ReplacementPolicy};
+    use pthammer_dram::FlipModelProfile;
+    use pthammer_machine::MachineConfig;
+
+    /// A vulnerable machine small enough for an end-to-end attack in a test.
+    pub(crate) fn vulnerable_test_machine(seed: u64) -> MachineConfig {
+        let mut cfg = MachineConfig::test_small(FlipModelProfile::ci(), seed);
+        cfg.cache = CacheHierarchyConfig {
+            llc: LlcConfig {
+                slices: 2,
+                sets_per_slice: 256,
+                ways: 8,
+                latency: 18,
+                replacement: ReplacementPolicy::Srrip,
+                inclusive: true,
+            },
+            ..CacheHierarchyConfig::test_small(seed)
+        };
+        cfg
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let mut config = AttackConfig::quick_test(1, false);
+        config.spray_bytes = 0;
+        assert!(matches!(
+            PtHammer::new(config),
+            Err(AttackError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn eviction_set_sizes_follow_the_machine() {
+        let sys = System::undefended(vulnerable_test_machine(3));
+        assert_eq!(PtHammer::tlb_eviction_pages(&sys), 12);
+        assert_eq!(PtHammer::llc_eviction_lines(&sys), 9);
+    }
+
+    #[test]
+    fn end_to_end_attack_escalates_on_vulnerable_machine() {
+        let mut sys = System::undefended(vulnerable_test_machine(7));
+        let pid = sys.spawn_process(1000).unwrap();
+        let config = AttackConfig {
+            spray_bytes: 640 << 20,
+            hammer_rounds_per_attempt: 1_500,
+            max_attempts: 20,
+            llc_profile_trials: 6,
+            ..AttackConfig::quick_test(7, false)
+        };
+        let attack = PtHammer::new(config).unwrap();
+        let outcome = attack.run(&mut sys, pid).unwrap();
+
+        assert_eq!(outcome.uid_before, 1000);
+        assert!(outcome.attempts >= 1);
+        assert!(
+            outcome.flips_observed >= 1,
+            "ci-profile DRAM should produce flips: {outcome:?}"
+        );
+        assert!(outcome.timings.time_to_first_flip_cycles.is_some());
+        assert!(outcome.implicit_dram_rate > 0.5);
+        assert!(!outcome.hammer_cycle_samples.is_empty());
+        // Escalation is probabilistic (the captured frame must be useful) but
+        // with the ci profile and this budget it should normally succeed; if
+        // it did, uid dropped to 0.
+        if outcome.escalated {
+            assert_eq!(outcome.uid_after, 0);
+            assert!(outcome.timings.time_to_escalation_cycles.is_some());
+        }
+    }
+}

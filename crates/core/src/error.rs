@@ -1,0 +1,92 @@
+//! Attack error types.
+
+use core::fmt;
+
+use pthammer_kernel::KernelError;
+
+/// Errors surfaced by the attack library.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AttackError {
+    /// A system call made by the simulated attacker failed.
+    Kernel(KernelError),
+    /// The attack could not build a working eviction set / pool.
+    EvictionSetUnavailable(String),
+    /// No suitable double-sided hammer pairs could be found.
+    NoHammerPairs,
+    /// The hammering budget was exhausted without an exploitable bit flip.
+    NoExploitableFlip {
+        /// Number of hammer attempts performed.
+        attempts: usize,
+        /// Total bit flips observed (none of them exploitable).
+        flips_observed: usize,
+    },
+    /// A flip was found but exploitation failed.
+    ExploitFailed(String),
+    /// Invalid attack configuration.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for AttackError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttackError::Kernel(e) => write!(f, "system call failed: {e}"),
+            AttackError::EvictionSetUnavailable(msg) => {
+                write!(f, "could not build eviction set: {msg}")
+            }
+            AttackError::NoHammerPairs => write!(f, "no double-sided hammer pairs found"),
+            AttackError::NoExploitableFlip {
+                attempts,
+                flips_observed,
+            } => write!(
+                f,
+                "no exploitable bit flip after {attempts} attempts ({flips_observed} flips observed)"
+            ),
+            AttackError::ExploitFailed(msg) => write!(f, "exploitation failed: {msg}"),
+            AttackError::InvalidConfig(msg) => write!(f, "invalid attack configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for AttackError {}
+
+impl From<KernelError> for AttackError {
+    fn from(e: KernelError) -> Self {
+        AttackError::Kernel(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        assert!(AttackError::NoHammerPairs.to_string().contains("pairs"));
+        assert!(AttackError::Kernel(KernelError::OutOfMemory)
+            .to_string()
+            .contains("out of physical memory"));
+        assert!(AttackError::NoExploitableFlip {
+            attempts: 5,
+            flips_observed: 2
+        }
+        .to_string()
+        .contains('5'));
+        assert!(AttackError::ExploitFailed("x".into()).to_string().contains('x'));
+        assert!(AttackError::EvictionSetUnavailable("y".into())
+            .to_string()
+            .contains('y'));
+        assert!(AttackError::InvalidConfig("z".into()).to_string().contains('z'));
+    }
+
+    #[test]
+    fn kernel_error_converts() {
+        let e: AttackError = KernelError::OutOfMemory.into();
+        assert_eq!(e, AttackError::Kernel(KernelError::OutOfMemory));
+    }
+
+    #[test]
+    fn implements_error_trait() {
+        fn assert_error<E: std::error::Error>(_: &E) {}
+        assert_error(&AttackError::NoHammerPairs);
+    }
+}

@@ -1,0 +1,20 @@
+//! Eviction-set machinery for the TLB and the last-level cache.
+//!
+//! PThammer needs two eviction capabilities per hammer target: flushing the
+//! target's TLB entry (so the access triggers a page-table walk at all) and
+//! flushing the target's Level-1 PTE from the inclusive LLC (so the walk's
+//! final load reaches DRAM). Both are built purely from unprivileged memory
+//! accesses; the privileged performance counters are only consulted in the
+//! offline calibration phase, as in the paper.
+
+pub mod llc;
+pub mod tlb;
+
+pub use llc::{
+    calibrate_latency_threshold, calibrate_llc_eviction, LlcCalibration, LlcEvictionPool,
+    LlcPageGroup, SelectedEvictionSet,
+};
+pub use tlb::{
+    calibrate_tlb_eviction, profile_tlb_set, TlbCalibration, TlbEvictionPool, TlbEvictionSet,
+    TlbMapping,
+};

@@ -1,0 +1,8 @@
+//! Hammering primitives: the implicit (PThammer) primitive and the explicit
+//! baselines it is compared against.
+
+pub mod explicit;
+pub mod implicit;
+
+pub use explicit::{ExplicitHammer, ExplicitHammerConfig, ExplicitMode, FirstFlip};
+pub use implicit::{HammerStats, ImplicitHammer};

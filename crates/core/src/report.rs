@@ -1,0 +1,143 @@
+//! Attack outcome reporting (the data behind Table II and Section IV-F/G).
+
+use serde::{Deserialize, Serialize};
+
+use crate::exploit::EscalationRoute;
+
+/// Simulated-cycle timings of the attack stages, mirroring the columns of
+/// Table II in the paper.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StageTimings {
+    /// One-off TLB eviction-pool preparation.
+    pub tlb_pool_prep_cycles: u64,
+    /// One-off LLC eviction-pool preparation.
+    pub llc_pool_prep_cycles: u64,
+    /// Average TLB eviction-set selection per pair (drawing from the pool).
+    pub tlb_selection_cycles: u64,
+    /// Average LLC eviction-set selection per pair (Algorithm 2).
+    pub llc_selection_cycles: u64,
+    /// Average hammering time per attempt.
+    pub hammer_cycles_per_attempt: u64,
+    /// Average check (scan) time per attempt.
+    pub check_cycles_per_attempt: u64,
+    /// Simulated cycles from the start of the attack to the first observed
+    /// bit flip (`None` if no flip was observed).
+    pub time_to_first_flip_cycles: Option<u64>,
+    /// Simulated cycles from the start of the attack to privilege escalation.
+    pub time_to_escalation_cycles: Option<u64>,
+}
+
+impl StageTimings {
+    /// Converts a cycle count to seconds at the given clock.
+    pub fn seconds(cycles: u64, clock_hz: f64) -> f64 {
+        cycles as f64 / clock_hz
+    }
+}
+
+/// Complete outcome of one PThammer run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AttackOutcome {
+    /// Machine the attack ran on.
+    pub machine: String,
+    /// Nominal clock frequency (Hz) used to convert cycles to seconds.
+    pub clock_hz: f64,
+    /// "regular" or "superpage" system setting.
+    pub page_setting: String,
+    /// Name of the active placement policy / defense.
+    pub defense: String,
+    /// Whether kernel privilege escalation succeeded.
+    pub escalated: bool,
+    /// How escalation was achieved, if it was.
+    pub route: Option<EscalationRoute>,
+    /// Hammer attempts (pairs hammered).
+    pub attempts: usize,
+    /// Bit-flip findings observed across all attempts (including
+    /// unexploitable ones).
+    pub flips_observed: usize,
+    /// Findings that were exploitable (captured an L1PT or cred page).
+    pub exploitable_flips: usize,
+    /// uid of the attacker before the attack.
+    pub uid_before: u32,
+    /// Effective uid of the escalated process after the attack (0 on success).
+    pub uid_after: u32,
+    /// Stage timings (Table II).
+    pub timings: StageTimings,
+    /// Sample of per-iteration double-sided hammer costs in cycles (Figure 6).
+    pub hammer_cycle_samples: Vec<u64>,
+    /// Fraction of hammer iterations whose L1PTE loads reached DRAM.
+    pub implicit_dram_rate: f64,
+}
+
+impl AttackOutcome {
+    /// Simulated seconds until the first flip, if one was observed.
+    pub fn seconds_to_first_flip(&self) -> Option<f64> {
+        self.timings
+            .time_to_first_flip_cycles
+            .map(|c| StageTimings::seconds(c, self.clock_hz))
+    }
+
+    /// Simulated seconds until escalation, if it happened.
+    pub fn seconds_to_escalation(&self) -> Option<f64> {
+        self.timings
+            .time_to_escalation_cycles
+            .map(|c| StageTimings::seconds(c, self.clock_hz))
+    }
+
+    /// Simulated minutes until the first flip (the headline Table II number).
+    pub fn minutes_to_first_flip(&self) -> Option<f64> {
+        self.seconds_to_first_flip().map(|s| s / 60.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome() -> AttackOutcome {
+        AttackOutcome {
+            machine: "Test".to_string(),
+            clock_hz: 2.6e9,
+            page_setting: "regular".to_string(),
+            defense: "default".to_string(),
+            escalated: true,
+            route: Some(EscalationRoute::PageTableTakeover { escalated_pid: 1 }),
+            attempts: 3,
+            flips_observed: 2,
+            exploitable_flips: 1,
+            uid_before: 1000,
+            uid_after: 0,
+            timings: StageTimings {
+                time_to_first_flip_cycles: Some(156_000_000_000),
+                time_to_escalation_cycles: Some(160_000_000_000),
+                ..StageTimings::default()
+            },
+            hammer_cycle_samples: vec![700, 720, 800],
+            implicit_dram_rate: 0.97,
+        }
+    }
+
+    #[test]
+    fn time_conversions() {
+        let o = outcome();
+        let minutes = o.minutes_to_first_flip().unwrap();
+        assert!((minutes - 1.0).abs() < 1e-9, "156e9 cycles at 2.6 GHz = 1 minute");
+        assert!(o.seconds_to_escalation().unwrap() > o.seconds_to_first_flip().unwrap());
+    }
+
+    #[test]
+    fn missing_flip_yields_none() {
+        let mut o = outcome();
+        o.timings.time_to_first_flip_cycles = None;
+        assert!(o.seconds_to_first_flip().is_none());
+        assert!(o.minutes_to_first_flip().is_none());
+    }
+
+    #[test]
+    fn debug_output_contains_key_fields() {
+        let o = outcome();
+        let debug = format!("{o:?}");
+        assert!(debug.contains("escalated: true"));
+        assert!(debug.contains("Test"));
+        assert!(debug.contains("implicit_dram_rate"));
+    }
+}

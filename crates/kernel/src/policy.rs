@@ -1,0 +1,124 @@
+//! Frame-placement policies.
+//!
+//! The kernel substrate asks its placement policy for every physical frame it
+//! allocates, tagging the request with the frame's purpose. The default
+//! policy models an undefended Linux kernel; the `pthammer-defenses` crate
+//! implements CATT, RIP-RH and CTA as alternative policies.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::buddy::BuddyAllocator;
+
+/// Why the kernel is allocating a frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FramePurpose {
+    /// A page-table node at the given level (4 = PML4 … 1 = L1 page table).
+    PageTable {
+        /// Page-table level of the node being allocated.
+        level: u8,
+        /// Process that owns the address space.
+        pid: u32,
+    },
+    /// An anonymous user data page.
+    UserPage {
+        /// Owning process.
+        pid: u32,
+    },
+    /// Kernel data such as `struct cred` slabs.
+    KernelData,
+}
+
+impl FramePurpose {
+    /// True for Level-1 page-table allocations — the frames PThammer hammers
+    /// and corrupts.
+    pub fn is_l1_page_table(&self) -> bool {
+        matches!(self, FramePurpose::PageTable { level: 1, .. })
+    }
+
+    /// True for any page-table allocation.
+    pub fn is_page_table(&self) -> bool {
+        matches!(self, FramePurpose::PageTable { .. })
+    }
+}
+
+/// A frame-placement policy.
+///
+/// Policies receive every allocation request together with its purpose and
+/// decide where in physical memory (and therefore where in DRAM) the frame
+/// lands. Software-only rowhammer defenses are exactly such policies.
+pub trait PlacementPolicy: fmt::Debug + Send {
+    /// Human-readable policy name (used in experiment reports).
+    fn name(&self) -> &str;
+
+    /// Allocates a frame for `purpose` from `buddy`, or `None` when the
+    /// policy cannot satisfy the request.
+    fn allocate(&mut self, purpose: FramePurpose, buddy: &mut BuddyAllocator) -> Option<u64>;
+
+    /// Releases a frame previously returned by [`PlacementPolicy::allocate`].
+    fn free(&mut self, frame: u64, buddy: &mut BuddyAllocator) {
+        buddy.free_frame(frame);
+    }
+}
+
+/// The undefended baseline: every allocation takes the lowest free frame,
+/// regardless of purpose — page tables, user data and kernel data freely
+/// intermingle in DRAM, exactly the situation PThammer exploits on a stock
+/// kernel.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct DefaultPolicy;
+
+impl DefaultPolicy {
+    /// Creates the default policy.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl PlacementPolicy for DefaultPolicy {
+    fn name(&self) -> &str {
+        "default (undefended)"
+    }
+
+    fn allocate(&mut self, _purpose: FramePurpose, buddy: &mut BuddyAllocator) -> Option<u64> {
+        buddy.alloc_frame()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn purpose_predicates() {
+        assert!(FramePurpose::PageTable { level: 1, pid: 3 }.is_l1_page_table());
+        assert!(!FramePurpose::PageTable { level: 2, pid: 3 }.is_l1_page_table());
+        assert!(FramePurpose::PageTable { level: 4, pid: 3 }.is_page_table());
+        assert!(!FramePurpose::UserPage { pid: 3 }.is_page_table());
+        assert!(!FramePurpose::KernelData.is_page_table());
+    }
+
+    #[test]
+    fn default_policy_allocates_ascending() {
+        let mut buddy = BuddyAllocator::new(0, 256);
+        let mut policy = DefaultPolicy::new();
+        let a = policy
+            .allocate(FramePurpose::KernelData, &mut buddy)
+            .unwrap();
+        let b = policy
+            .allocate(FramePurpose::UserPage { pid: 1 }, &mut buddy)
+            .unwrap();
+        let c = policy
+            .allocate(FramePurpose::PageTable { level: 1, pid: 1 }, &mut buddy)
+            .unwrap();
+        assert_eq!((a, b, c), (0, 1, 2));
+        policy.free(b, &mut buddy);
+        assert_eq!(buddy.free_frames(), 254);
+    }
+
+    #[test]
+    fn default_policy_name() {
+        assert!(DefaultPolicy::new().name().contains("undefended"));
+    }
+}

@@ -1,0 +1,161 @@
+//! Machine configurations, including the Table I presets.
+
+use serde::{Deserialize, Serialize};
+
+use pthammer_cache::CacheHierarchyConfig;
+use pthammer_dram::{DramConfig, DramGeometry, DramTimings, FlipModelProfile};
+use pthammer_mmu::MmuConfig;
+
+/// Complete configuration of a simulated machine.
+///
+/// The three presets mirror Table I of the paper:
+///
+/// | Machine      | CPU               | TLB              | LLC            | DRAM |
+/// |--------------|-------------------|------------------|----------------|------|
+/// | Lenovo T420  | Sandy Bridge i5   | 4-way L1d/L2s    | 12-way, 3 MiB  | 8 GiB DDR3 |
+/// | Lenovo X230  | Ivy Bridge i5     | 4-way L1d/L2s    | 12-way, 3 MiB  | 8 GiB DDR3 |
+/// | Dell E6420   | Sandy Bridge i7   | 4-way L1d/L2s    | 16-way, 4 MiB  | 8 GiB DDR3 |
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MachineConfig {
+    /// Human-readable machine name (used in experiment reports).
+    pub name: String,
+    /// Nominal CPU clock in Hz; converts simulated cycles to seconds.
+    pub clock_hz: f64,
+    /// Cache hierarchy configuration.
+    pub cache: CacheHierarchyConfig,
+    /// MMU (TLBs, paging-structure caches, walker) configuration.
+    pub mmu: MmuConfig,
+    /// DRAM module configuration.
+    pub dram: DramConfig,
+    /// Latency charged for a DRAM-served access issued from a pipelined
+    /// (batched) access sequence, modelling memory-level parallelism of the
+    /// out-of-order core. Serialized (timed) accesses pay the full DRAM
+    /// latency.
+    pub dram_overlap_latency: u32,
+    /// Fixed per-access front-end overhead in cycles.
+    pub access_overhead: u32,
+}
+
+impl MachineConfig {
+    /// Lenovo T420 (Sandy Bridge i5-2540M, 3 MiB 12-way LLC, 8 GiB DDR3).
+    pub fn lenovo_t420(flip_profile: FlipModelProfile, seed: u64) -> Self {
+        Self {
+            name: "Lenovo T420".to_string(),
+            clock_hz: 2.6e9,
+            cache: CacheHierarchyConfig::sandy_bridge_3mib(seed ^ 0x1420),
+            mmu: MmuConfig::sandy_bridge(seed ^ 0x2420),
+            dram: DramConfig {
+                timings: DramTimings::ddr3_default(),
+                ..DramConfig::ddr3_8gib(flip_profile, seed ^ 0x3420)
+            },
+            dram_overlap_latency: 35,
+            access_overhead: 2,
+        }
+    }
+
+    /// Lenovo X230 (Ivy Bridge i5-3230M, 3 MiB 12-way LLC, 8 GiB DDR3).
+    pub fn lenovo_x230(flip_profile: FlipModelProfile, seed: u64) -> Self {
+        let mut cfg = Self::lenovo_t420(flip_profile, seed ^ 0x230);
+        cfg.name = "Lenovo X230".to_string();
+        cfg.clock_hz = 2.6e9;
+        // Ivy Bridge: marginally faster DRAM path than the T420.
+        cfg.dram.timings = DramTimings {
+            cas: 105,
+            rcd: 42,
+            rp: 42,
+            refresh_window: 166_400_000,
+        };
+        cfg
+    }
+
+    /// Dell E6420 (Sandy Bridge i7-2640M, 4 MiB 16-way LLC, 8 GiB DDR3).
+    pub fn dell_e6420(flip_profile: FlipModelProfile, seed: u64) -> Self {
+        Self {
+            name: "Dell E6420".to_string(),
+            clock_hz: 2.8e9,
+            cache: CacheHierarchyConfig::sandy_bridge_4mib(seed ^ 0x6420),
+            mmu: MmuConfig::sandy_bridge(seed ^ 0x7420),
+            dram: DramConfig {
+                timings: DramTimings::ddr3_slow(),
+                ..DramConfig::ddr3_8gib(flip_profile, seed ^ 0x8420)
+            },
+            dram_overlap_latency: 50,
+            access_overhead: 3,
+        }
+    }
+
+    /// All three Table I machines.
+    pub fn table1_machines(flip_profile: FlipModelProfile, seed: u64) -> Vec<Self> {
+        vec![
+            Self::lenovo_t420(flip_profile, seed),
+            Self::lenovo_x230(flip_profile, seed),
+            Self::dell_e6420(flip_profile, seed),
+        ]
+    }
+
+    /// A scaled-down machine (1 GiB DRAM, small caches unchanged TLBs) for
+    /// integration tests and examples that need to finish quickly.
+    pub fn test_small(flip_profile: FlipModelProfile, seed: u64) -> Self {
+        Self {
+            name: "Test Small".to_string(),
+            clock_hz: 2.6e9,
+            cache: CacheHierarchyConfig::sandy_bridge_3mib(seed ^ 0x51),
+            mmu: MmuConfig::sandy_bridge(seed ^ 0x52),
+            dram: DramConfig {
+                geometry: DramGeometry::small_1gib(),
+                timings: DramTimings::fast_test(),
+                ..DramConfig::ddr3_8gib(flip_profile, seed ^ 0x53)
+            },
+            dram_overlap_latency: 35,
+            access_overhead: 2,
+        }
+    }
+
+    /// Validates every component configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid component.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.clock_hz > 0.0) {
+            return Err("clock_hz must be positive".to_string());
+        }
+        self.cache.validate()?;
+        self.mmu.validate()?;
+        self.dram.validate()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_presets_are_valid_and_distinct() {
+        let machines = MachineConfig::table1_machines(FlipModelProfile::paper(), 1);
+        assert_eq!(machines.len(), 3);
+        for m in &machines {
+            assert!(m.validate().is_ok(), "{} invalid", m.name);
+            assert_eq!(m.dram.geometry.capacity_bytes(), 8 << 30);
+        }
+        assert_eq!(machines[0].cache.llc.ways, 12);
+        assert_eq!(machines[1].cache.llc.ways, 12);
+        assert_eq!(machines[2].cache.llc.ways, 16);
+        assert_eq!(machines[2].cache.llc.capacity_bytes(), 4 << 20);
+    }
+
+    #[test]
+    fn test_machine_is_small_and_valid() {
+        let m = MachineConfig::test_small(FlipModelProfile::ci(), 7);
+        assert!(m.validate().is_ok());
+        assert_eq!(m.dram.geometry.capacity_bytes(), 1 << 30);
+    }
+
+    #[test]
+    fn validation_rejects_bad_clock() {
+        let mut m = MachineConfig::test_small(FlipModelProfile::ci(), 7);
+        m.clock_hz = 0.0;
+        assert!(m.validate().is_err());
+    }
+}

@@ -1,0 +1,450 @@
+//! The simulated machine: MMU + memory subsystem + cycle clock.
+
+use serde::{Deserialize, Serialize};
+
+use pthammer_cache::{CacheHierarchy, CachePmc};
+use pthammer_dram::{DramModule, DramStats};
+use pthammer_mmu::{Mmu, PageFault, PscLevel, TlbLevel, TlbPmc};
+use pthammer_types::{AccessKind, Cycles, MemoryLevel, PhysAddr, VirtAddr};
+
+use crate::config::MachineConfig;
+use crate::memory::MemorySubsystem;
+use crate::phys_mem::{AppliedFlip, PhysicalMemory};
+
+/// The outcome of one user-level virtual memory access.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VirtualAccess {
+    /// The accessed virtual address.
+    pub vaddr: VirtAddr,
+    /// Translated physical address (`None` on a page fault).
+    pub paddr: Option<PhysAddr>,
+    /// Fault raised by the translation, if any.
+    pub fault: Option<PageFault>,
+    /// Total modelled latency of the access (translation + data).
+    pub latency: Cycles,
+    /// TLB level that served the translation, if any.
+    pub tlb_hit: Option<TlbLevel>,
+    /// Paging-structure cache that provided a partial translation, if any.
+    pub psc_hit: Option<PscLevel>,
+    /// Whether the walk loaded the Level-1 PTE from DRAM — the implicit
+    /// hammer blow PThammer aims to trigger on every iteration.
+    pub l1pte_from_dram: bool,
+    /// Level that served the *data* access (None on fault).
+    pub data_level: Option<MemoryLevel>,
+    /// Value read (zero for writes and faults).
+    pub value: u64,
+}
+
+/// A complete simulated machine.
+///
+/// The machine exposes two API surfaces:
+///
+/// * **privileged** operations used by the kernel substrate (direct physical
+///   reads/writes, TLB shoot-downs) that do not advance the simulated clock;
+/// * **user-level** operations used by the simulated attacker (timed virtual
+///   accesses, `clflush`, `rdtsc`) that behave exactly like the corresponding
+///   instructions, including every microarchitectural side effect the attack
+///   depends on.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Machine {
+    config: MachineConfig,
+    mmu: Mmu,
+    mem: MemorySubsystem,
+    clock: Cycles,
+}
+
+impl Machine {
+    /// Builds a machine from its configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn new(config: MachineConfig) -> Self {
+        config.validate().expect("invalid machine configuration");
+        let caches = CacheHierarchy::new(config.cache);
+        let dram = DramModule::new(config.dram.clone());
+        let phys = PhysicalMemory::new(config.dram.geometry.capacity_bytes());
+        let mem = MemorySubsystem::new(caches, dram, phys, config.dram_overlap_latency);
+        let mmu = Mmu::new(config.mmu);
+        Self {
+            config,
+            mmu,
+            mem,
+            clock: Cycles::ZERO,
+        }
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Cycles {
+        self.clock
+    }
+
+    /// The nominal clock frequency in Hz.
+    pub fn clock_hz(&self) -> f64 {
+        self.config.clock_hz
+    }
+
+    /// Reads the timestamp counter (user-visible, like `rdtsc`).
+    pub fn rdtsc(&self) -> u64 {
+        self.clock.as_u64()
+    }
+
+    /// Advances the simulated clock, e.g. to model computation between
+    /// memory operations (the NOP padding of Figure 5).
+    pub fn advance_clock(&mut self, cycles: Cycles) {
+        self.clock += cycles;
+    }
+
+    /// Converts a number of simulated cycles to seconds on this machine.
+    pub fn cycles_to_seconds(&self, cycles: Cycles) -> f64 {
+        cycles.as_seconds(self.config.clock_hz)
+    }
+
+    // ------------------------------------------------------------------
+    // Privileged (kernel substrate) operations — no timing side effects.
+    // ------------------------------------------------------------------
+
+    /// Reads a u64 from physical memory without timing side effects.
+    pub fn phys_read_u64(&self, paddr: PhysAddr) -> u64 {
+        self.mem.phys().read_u64(paddr)
+    }
+
+    /// Writes a u64 to physical memory without timing side effects.
+    pub fn phys_write_u64(&mut self, paddr: PhysAddr, value: u64) {
+        self.mem.phys_mut().write_u64(paddr, value);
+    }
+
+    /// Fills an entire frame with a repeated u64 value (cheap uniform frame).
+    pub fn phys_write_frame_uniform(&mut self, frame: u64, value: u64) {
+        self.mem.phys_mut().write_frame_uniform(frame, value);
+    }
+
+    /// Reads raw bytes from physical memory without timing side effects.
+    pub fn phys_read_bytes(&self, paddr: PhysAddr, len: usize) -> Vec<u8> {
+        self.mem.phys().read_bytes(paddr, len)
+    }
+
+    /// Writes raw bytes to physical memory without timing side effects.
+    pub fn phys_write_bytes(&mut self, paddr: PhysAddr, data: &[u8]) {
+        self.mem.phys_mut().write_bytes(paddr, data);
+    }
+
+    /// Invalidates cached translations for the page containing `vaddr`
+    /// (`invlpg`), used by the kernel after changing page tables.
+    pub fn invalidate_page(&mut self, vaddr: VirtAddr) {
+        self.mmu.invalidate_page(vaddr);
+    }
+
+    /// Flushes all TLBs and paging-structure caches (CR3 reload).
+    pub fn flush_translation_caches(&mut self) {
+        self.mmu.flush_all();
+    }
+
+    // ------------------------------------------------------------------
+    // User-level operations.
+    // ------------------------------------------------------------------
+
+    fn do_access(
+        &mut self,
+        cr3: PhysAddr,
+        vaddr: VirtAddr,
+        kind: AccessKind,
+        write_value: u64,
+        batch: bool,
+    ) -> VirtualAccess {
+        self.mem.set_now(self.clock);
+        self.mem.set_batch_mode(batch);
+        let translation = self.mmu.translate(cr3, vaddr, &mut self.mem);
+        let mut latency = translation.latency
+            + Cycles::new(u64::from(self.config.access_overhead));
+        let l1pte_from_dram = translation
+            .l1pte_load()
+            .map(|l| l.outcome.served_by == MemoryLevel::Dram)
+            .unwrap_or(false);
+
+        // A translation that points beyond the installed DRAM (e.g. because a
+        // rowhammer flip set a high bit of a PTE's frame field) behaves like a
+        // fault: on real hardware the access would hit unpopulated physical
+        // address space and the process would be killed by the kernel.
+        let capacity = self.config.dram.geometry.capacity_bytes();
+        let translation_paddr = translation
+            .paddr
+            .filter(|p| p.as_u64() + 8 <= capacity);
+        let fault = if translation.paddr.is_some() && translation_paddr.is_none() {
+            Some(PageFault { vaddr, level: 0 })
+        } else {
+            translation.fault
+        };
+
+        let (paddr, data_level, value) = match translation_paddr {
+            None => (None, None, 0),
+            Some(paddr) => {
+                let outcome = self.mem.access_line(paddr);
+                latency += outcome.latency;
+                let value = match kind {
+                    AccessKind::Read => {
+                        let aligned = PhysAddr::new(paddr.as_u64() & !7);
+                        self.mem.phys().read_u64(aligned)
+                    }
+                    AccessKind::Write => {
+                        let aligned = PhysAddr::new(paddr.as_u64() & !7);
+                        self.mem.phys_mut().write_u64(aligned, write_value);
+                        0
+                    }
+                };
+                (Some(paddr), Some(outcome.served_by), value)
+            }
+        };
+        self.mem.set_batch_mode(false);
+        self.clock += latency;
+
+        VirtualAccess {
+            vaddr,
+            paddr,
+            fault,
+            latency,
+            tlb_hit: translation.tlb_hit,
+            psc_hit: translation.psc_hit,
+            l1pte_from_dram,
+            data_level,
+            value,
+        }
+    }
+
+    /// Performs a timed user-level read of the u64 at `vaddr`.
+    pub fn read_u64(&mut self, cr3: PhysAddr, vaddr: VirtAddr) -> VirtualAccess {
+        self.do_access(cr3, vaddr, AccessKind::Read, 0, false)
+    }
+
+    /// Performs a timed user-level write of the u64 at `vaddr`.
+    pub fn write_u64(&mut self, cr3: PhysAddr, vaddr: VirtAddr, value: u64) -> VirtualAccess {
+        self.do_access(cr3, vaddr, AccessKind::Write, value, false)
+    }
+
+    /// Touches `vaddr` (read, value ignored). Equivalent to the paper's
+    /// `access target_addr` step.
+    pub fn touch(&mut self, cr3: PhysAddr, vaddr: VirtAddr) -> VirtualAccess {
+        self.read_u64(cr3, vaddr)
+    }
+
+    /// Accesses a sequence of addresses back-to-back as an out-of-order core
+    /// would: independent DRAM misses overlap, so each DRAM-served access is
+    /// charged the configured overlap latency instead of the full latency.
+    /// Returns the total latency and any faults encountered.
+    pub fn access_batch(
+        &mut self,
+        cr3: PhysAddr,
+        vaddrs: &[VirtAddr],
+    ) -> (Cycles, Vec<PageFault>) {
+        let mut total = Cycles::ZERO;
+        let mut faults = Vec::new();
+        for &vaddr in vaddrs {
+            let acc = self.do_access(cr3, vaddr, AccessKind::Read, 0, true);
+            total += acc.latency;
+            if let Some(fault) = acc.fault {
+                faults.push(fault);
+            }
+        }
+        (total, faults)
+    }
+
+    /// Executes `clflush` on the line containing `vaddr`: translates the
+    /// address (a TLB-filling operation, as on real hardware) and flushes the
+    /// line from every cache level.
+    pub fn clflush(&mut self, cr3: PhysAddr, vaddr: VirtAddr) -> VirtualAccess {
+        let mut acc = self.do_access(cr3, vaddr, AccessKind::Read, 0, false);
+        if let Some(paddr) = acc.paddr {
+            self.mem.clflush_line(paddr);
+            let flush_cost = Cycles::new(40);
+            acc.latency += flush_cost;
+            self.clock += flush_cost;
+        }
+        acc
+    }
+
+    // ------------------------------------------------------------------
+    // Component access for oracles, kernels and tests.
+    // ------------------------------------------------------------------
+
+    /// The MMU (read-only).
+    pub fn mmu(&self) -> &Mmu {
+        &self.mmu
+    }
+
+    /// The cache hierarchy (read-only).
+    pub fn caches(&self) -> &CacheHierarchy {
+        self.mem.caches()
+    }
+
+    /// The DRAM module (read-only).
+    pub fn dram(&self) -> &DramModule {
+        self.mem.dram()
+    }
+
+    /// TLB performance counters (privileged; the paper reads these through a
+    /// kernel module during offline calibration).
+    pub fn tlb_pmc(&self) -> TlbPmc {
+        *self.mmu.tlbs().pmc()
+    }
+
+    /// Cache performance counters (privileged).
+    pub fn cache_pmc(&self) -> CachePmc {
+        *self.mem.caches().pmc()
+    }
+
+    /// DRAM statistics.
+    pub fn dram_stats(&self) -> DramStats {
+        *self.mem.dram().stats()
+    }
+
+    /// Every bit flip applied to physical memory so far (evaluation oracle —
+    /// the simulated attacker never reads this; it detects flips by scanning
+    /// its own address space).
+    pub fn applied_flips(&self) -> &[AppliedFlip] {
+        self.mem.applied_flips()
+    }
+
+    /// Direct access to the memory subsystem for the kernel substrate.
+    pub fn memory_mut(&mut self) -> &mut MemorySubsystem {
+        &mut self.mem
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::software_walk;
+    use pthammer_dram::FlipModelProfile;
+    use pthammer_mmu::{Pte, PteFlags};
+
+    /// Builds a machine with a single 4 KiB page mapped: VA `va` -> PA `pa`.
+    fn machine_with_mapping(va: u64, pa: u64) -> (Machine, PhysAddr) {
+        let mut m = Machine::new(MachineConfig::test_small(FlipModelProfile::invulnerable(), 3));
+        let cr3 = PhysAddr::new(0x40_0000);
+        let pdpt = 0x40_1000u64;
+        let pd = 0x40_2000u64;
+        let pt = 0x40_3000u64;
+        let vaddr = VirtAddr::new(va);
+        m.phys_write_u64(
+            cr3 + vaddr.pt_index(4) * 8,
+            Pte::table(PhysAddr::new(pdpt)).raw(),
+        );
+        m.phys_write_u64(
+            PhysAddr::new(pdpt) + vaddr.pt_index(3) * 8,
+            Pte::table(PhysAddr::new(pd)).raw(),
+        );
+        m.phys_write_u64(
+            PhysAddr::new(pd) + vaddr.pt_index(2) * 8,
+            Pte::table(PhysAddr::new(pt)).raw(),
+        );
+        m.phys_write_u64(
+            PhysAddr::new(pt) + vaddr.pt_index(1) * 8,
+            Pte::page(PhysAddr::new(pa), PteFlags::user_rw()).raw(),
+        );
+        (m, cr3)
+    }
+
+    #[test]
+    fn read_write_through_virtual_mapping() {
+        let (mut m, cr3) = machine_with_mapping(0x7000_0000, 0x9000);
+        let va = VirtAddr::new(0x7000_0008);
+        m.write_u64(cr3, va, 0x1234_5678);
+        let acc = m.read_u64(cr3, va);
+        assert_eq!(acc.value, 0x1234_5678);
+        assert_eq!(acc.paddr, Some(PhysAddr::new(0x9008)));
+        assert!(acc.fault.is_none());
+        assert_eq!(m.phys_read_u64(PhysAddr::new(0x9008)), 0x1234_5678);
+    }
+
+    #[test]
+    fn first_access_walks_second_hits_tlb() {
+        let (mut m, cr3) = machine_with_mapping(0x7000_0000, 0x9000);
+        let va = VirtAddr::new(0x7000_0000);
+        let first = m.read_u64(cr3, va);
+        assert_eq!(first.tlb_hit, None);
+        let second = m.read_u64(cr3, va);
+        assert_eq!(second.tlb_hit, Some(TlbLevel::L1));
+        assert!(second.latency < first.latency);
+    }
+
+    #[test]
+    fn clock_advances_with_accesses() {
+        let (mut m, cr3) = machine_with_mapping(0x7000_0000, 0x9000);
+        let t0 = m.rdtsc();
+        m.read_u64(cr3, VirtAddr::new(0x7000_0000));
+        let t1 = m.rdtsc();
+        assert!(t1 > t0);
+        m.advance_clock(Cycles::new(100));
+        assert_eq!(m.rdtsc(), t1 + 100);
+    }
+
+    #[test]
+    fn unmapped_access_faults_without_data_access() {
+        let (mut m, cr3) = machine_with_mapping(0x7000_0000, 0x9000);
+        let acc = m.read_u64(cr3, VirtAddr::new(0x9000_0000));
+        assert!(acc.fault.is_some());
+        assert_eq!(acc.paddr, None);
+        assert_eq!(acc.data_level, None);
+    }
+
+    #[test]
+    fn clflush_then_access_reaches_dram_for_data() {
+        let (mut m, cr3) = machine_with_mapping(0x7000_0000, 0x9000);
+        let va = VirtAddr::new(0x7000_0000);
+        m.read_u64(cr3, va);
+        let cached = m.read_u64(cr3, va);
+        assert_eq!(cached.data_level, Some(MemoryLevel::L1));
+        m.clflush(cr3, va);
+        let after_flush = m.read_u64(cr3, va);
+        assert_eq!(after_flush.data_level, Some(MemoryLevel::Dram));
+        assert!(after_flush.latency > cached.latency);
+    }
+
+    #[test]
+    fn l1pte_from_dram_flag_reflects_walk_source() {
+        let (mut m, cr3) = machine_with_mapping(0x7000_0000, 0x9000);
+        let va = VirtAddr::new(0x7000_0000);
+        // Cold: everything (including the PTE) comes from DRAM.
+        let first = m.read_u64(cr3, va);
+        assert!(first.l1pte_from_dram);
+        // Warm TLB: no walk at all.
+        let second = m.read_u64(cr3, va);
+        assert!(!second.l1pte_from_dram);
+        // Evict only the TLB entry (kernel-style invlpg) but keep the PTE line
+        // cached: the walk happens but the L1PTE is served by the caches.
+        m.invalidate_page(va);
+        let third = m.read_u64(cr3, va);
+        assert!(!third.l1pte_from_dram);
+        assert!(third.tlb_hit.is_none());
+    }
+
+    #[test]
+    fn batch_access_is_cheaper_than_serial_for_dram_misses() {
+        let (mut m, cr3) = machine_with_mapping(0x7000_0000, 0x9000);
+        let (mut m2, cr3_2) = machine_with_mapping(0x7000_0000, 0x9000);
+        // Touch several distinct lines of the mapped page.
+        let vaddrs: Vec<VirtAddr> = (0..8u64).map(|i| VirtAddr::new(0x7000_0000 + i * 64)).collect();
+        let (batched, faults) = m.access_batch(cr3, &vaddrs);
+        assert!(faults.is_empty());
+        let mut serial = Cycles::ZERO;
+        for &va in &vaddrs {
+            serial += m2.read_u64(cr3_2, va).latency;
+        }
+        assert!(batched < serial);
+    }
+
+    #[test]
+    fn oracle_walk_matches_hardware_walk() {
+        let (mut m, cr3) = machine_with_mapping(0x7000_0000, 0x9000);
+        let va = VirtAddr::new(0x7000_0123);
+        let hw = m.read_u64(cr3, va);
+        let sw = software_walk(&m, cr3, va).expect("mapped");
+        assert_eq!(Some(sw.paddr), hw.paddr);
+        assert_eq!(sw.level, 1);
+    }
+}

@@ -1,0 +1,232 @@
+//! MMU configuration: TLB organisations and paging-structure cache sizes.
+
+use serde::{Deserialize, Serialize};
+
+use pthammer_cache::ReplacementPolicy;
+
+/// How virtual page numbers map to TLB sets.
+///
+/// Gras et al. (USENIX Security 2018) reverse engineered these functions; the
+/// attack relies on them to construct congruent page sets. Both TLB levels of
+/// the modelled Sandy Bridge / Ivy Bridge machines use a linear index (newer
+/// parts XOR-fold the sTLB index; [`TlbIndexing::XorFold`] is provided for
+/// that ablation). Because an eviction set must displace the target from both
+/// levels, its minimal size exceeds a single level's associativity
+/// (Figure 3 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TlbIndexing {
+    /// `set = vpn mod sets`.
+    Linear,
+    /// `set = (vpn XOR (vpn >> log2(sets))) mod sets`.
+    XorFold,
+}
+
+impl TlbIndexing {
+    /// Computes the set index for a virtual page number.
+    pub fn set_index(self, vpn: u64, sets: u32) -> u32 {
+        let sets64 = u64::from(sets);
+        match self {
+            TlbIndexing::Linear => (vpn % sets64) as u32,
+            TlbIndexing::XorFold => {
+                let shift = sets.trailing_zeros();
+                ((vpn ^ (vpn >> shift)) % sets64) as u32
+            }
+        }
+    }
+}
+
+/// Configuration of one TLB level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TlbConfig {
+    /// Number of sets.
+    pub sets: u32,
+    /// Associativity.
+    pub ways: u32,
+    /// Set-index function.
+    pub indexing: TlbIndexing,
+    /// Replacement policy. The presets use LRU; NRU and Random are available
+    /// for the replacement-policy ablation study.
+    pub replacement: ReplacementPolicy,
+}
+
+impl TlbConfig {
+    /// 64-entry, 4-way L1 dTLB for 4 KiB pages (Table I machines).
+    pub const fn l1_dtlb_64() -> Self {
+        Self {
+            sets: 16,
+            ways: 4,
+            indexing: TlbIndexing::Linear,
+            replacement: ReplacementPolicy::Nru,
+        }
+    }
+
+    /// 512-entry, 4-way L2 sTLB for 4 KiB pages (Table I machines).
+    pub const fn l2_stlb_512() -> Self {
+        Self {
+            sets: 128,
+            ways: 4,
+            indexing: TlbIndexing::Linear,
+            replacement: ReplacementPolicy::Nru,
+        }
+    }
+
+    /// 32-entry, 4-way L1 dTLB for 2 MiB pages.
+    pub const fn l1_dtlb_huge_32() -> Self {
+        Self {
+            sets: 8,
+            ways: 4,
+            indexing: TlbIndexing::Linear,
+            replacement: ReplacementPolicy::Nru,
+        }
+    }
+
+    /// Total number of entries.
+    pub const fn entries(&self) -> u32 {
+        self.sets * self.ways
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the problem.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.sets == 0 || !self.sets.is_power_of_two() {
+            return Err(format!("TLB sets must be a power of two, got {}", self.sets));
+        }
+        if self.ways == 0 {
+            return Err("TLB associativity must be non-zero".to_string());
+        }
+        Ok(())
+    }
+}
+
+/// Sizes of the paging-structure caches (fully associative, LRU).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PagingCacheConfig {
+    /// PDE-cache entries (each covers 2 MiB of VA and skips to the L1 PT).
+    pub pde_entries: u32,
+    /// PDPTE-cache entries (each covers 1 GiB of VA).
+    pub pdpte_entries: u32,
+    /// PML4E-cache entries (each covers 512 GiB of VA).
+    pub pml4e_entries: u32,
+}
+
+impl PagingCacheConfig {
+    /// Sandy Bridge-like sizes.
+    pub const fn sandy_bridge() -> Self {
+        Self {
+            pde_entries: 32,
+            pdpte_entries: 8,
+            pml4e_entries: 4,
+        }
+    }
+}
+
+/// Complete MMU configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MmuConfig {
+    /// L1 dTLB for 4 KiB pages.
+    pub l1_dtlb: TlbConfig,
+    /// L2 sTLB for 4 KiB pages.
+    pub l2_stlb: TlbConfig,
+    /// L1 dTLB for 2 MiB pages.
+    pub l1_dtlb_huge: TlbConfig,
+    /// Paging-structure cache sizes.
+    pub paging_caches: PagingCacheConfig,
+    /// Cycles charged for a TLB lookup.
+    pub tlb_lookup_latency: u32,
+    /// Extra cycles charged when the lookup falls through to the L2 sTLB.
+    pub stlb_lookup_latency: u32,
+    /// Fixed per-level overhead of the hardware walker, on top of the memory
+    /// accesses it performs.
+    pub walk_step_latency: u32,
+    /// Seed for deterministic replacement randomness.
+    pub seed: u64,
+}
+
+impl MmuConfig {
+    /// Sandy Bridge / Ivy Bridge-like MMU (Table I machines).
+    pub const fn sandy_bridge(seed: u64) -> Self {
+        Self {
+            l1_dtlb: TlbConfig::l1_dtlb_64(),
+            l2_stlb: TlbConfig::l2_stlb_512(),
+            l1_dtlb_huge: TlbConfig::l1_dtlb_huge_32(),
+            paging_caches: PagingCacheConfig::sandy_bridge(),
+            tlb_lookup_latency: 1,
+            stlb_lookup_latency: 6,
+            walk_step_latency: 2,
+            seed,
+        }
+    }
+
+    /// Validates every component.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid component.
+    pub fn validate(&self) -> Result<(), String> {
+        self.l1_dtlb.validate()?;
+        self.l2_stlb.validate()?;
+        self.l1_dtlb_huge.validate()?;
+        if self.paging_caches.pde_entries == 0 {
+            return Err("PDE cache must have at least one entry".to_string());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_tlb_sizes() {
+        assert_eq!(TlbConfig::l1_dtlb_64().entries(), 64);
+        assert_eq!(TlbConfig::l2_stlb_512().entries(), 512);
+        assert_eq!(TlbConfig::l1_dtlb_64().ways, 4);
+        assert_eq!(TlbConfig::l2_stlb_512().ways, 4);
+    }
+
+    #[test]
+    fn presets_validate() {
+        assert!(MmuConfig::sandy_bridge(1).validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_bad_values() {
+        let mut cfg = MmuConfig::sandy_bridge(1);
+        cfg.l1_dtlb.sets = 3;
+        assert!(cfg.validate().is_err());
+        let mut cfg = MmuConfig::sandy_bridge(1);
+        cfg.paging_caches.pde_entries = 0;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn linear_indexing_is_modulo() {
+        assert_eq!(TlbIndexing::Linear.set_index(0, 16), 0);
+        assert_eq!(TlbIndexing::Linear.set_index(17, 16), 1);
+        assert_eq!(TlbIndexing::Linear.set_index(255, 16), 15);
+    }
+
+    #[test]
+    fn xor_fold_differs_from_linear() {
+        // Two VPNs congruent mod 128 need not be congruent under the XOR fold.
+        let a = 0u64;
+        let b = 128u64;
+        assert_eq!(TlbIndexing::Linear.set_index(a, 128), TlbIndexing::Linear.set_index(b, 128));
+        assert_ne!(
+            TlbIndexing::XorFold.set_index(a, 128),
+            TlbIndexing::XorFold.set_index(b, 128)
+        );
+    }
+
+    #[test]
+    fn set_indices_in_range() {
+        for vpn in 0..10_000u64 {
+            assert!(TlbIndexing::Linear.set_index(vpn, 16) < 16);
+            assert!(TlbIndexing::XorFold.set_index(vpn, 128) < 128);
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! Paging-structure caches (PML4E, PDPTE and PDE caches).
+//!
+//! These small, fully-associative structures cache *partial* translations:
+//! each entry maps a prefix of the virtual address to the physical address of
+//! the next page-table level, letting the walker skip the upper levels.
+//! PThammer depends on the PDE cache retaining the target's partial
+//! translation so that a hammering iteration performs exactly one memory
+//! load — the Level-1 PTE (the red path in Figure 2 of the paper).
+
+use serde::{Deserialize, Serialize};
+
+use pthammer_types::{PhysAddr, VirtAddr};
+
+/// The paging-structure-cache level, named after the entry kind it caches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PscLevel {
+    /// Caches PDE entries: tag = VA bits 47..21, payload = L1 page-table base.
+    Pde,
+    /// Caches PDPTE entries: tag = VA bits 47..30, payload = PD base.
+    Pdpte,
+    /// Caches PML4E entries: tag = VA bits 47..39, payload = PDPT base.
+    Pml4e,
+}
+
+impl PscLevel {
+    /// Number of low virtual-address bits *not* covered by this cache's tag.
+    pub const fn tag_shift(self) -> u32 {
+        match self {
+            PscLevel::Pde => 21,
+            PscLevel::Pdpte => 30,
+            PscLevel::Pml4e => 39,
+        }
+    }
+
+    /// Extracts the tag of a virtual address for this level.
+    pub fn tag_of(self, vaddr: VirtAddr) -> u64 {
+        vaddr.as_u64() >> self.tag_shift()
+    }
+
+    /// The page-table level whose *base* this cache's payload points to
+    /// (e.g. the PDE cache points at Level-1 page tables).
+    pub const fn next_table_level(self) -> u8 {
+        match self {
+            PscLevel::Pde => 1,
+            PscLevel::Pdpte => 2,
+            PscLevel::Pml4e => 3,
+        }
+    }
+}
+
+/// One fully-associative, LRU paging-structure cache.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PagingStructureCache {
+    level: PscLevel,
+    capacity: usize,
+    /// (tag, next-table base, LRU stamp)
+    entries: Vec<(u64, PhysAddr, u64)>,
+    tick: u64,
+}
+
+impl PagingStructureCache {
+    /// Creates a cache for `level` holding at most `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(level: PscLevel, capacity: usize) -> Self {
+        assert!(capacity > 0, "paging-structure cache capacity must be non-zero");
+        Self {
+            level,
+            capacity,
+            entries: Vec::with_capacity(capacity),
+            tick: 0,
+        }
+    }
+
+    /// The level this cache serves.
+    pub fn level(&self) -> PscLevel {
+        self.level
+    }
+
+    /// Number of currently cached entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up the partial translation for `vaddr`, returning the physical
+    /// base of the next page-table level on a hit.
+    pub fn lookup(&mut self, vaddr: VirtAddr) -> Option<PhysAddr> {
+        let tag = self.level.tag_of(vaddr);
+        self.tick += 1;
+        let tick = self.tick;
+        self.entries.iter_mut().find(|(t, _, _)| *t == tag).map(|e| {
+            e.2 = tick;
+            e.1
+        })
+    }
+
+    /// Probes for `vaddr` without updating LRU state.
+    pub fn contains(&self, vaddr: VirtAddr) -> bool {
+        let tag = self.level.tag_of(vaddr);
+        self.entries.iter().any(|(t, _, _)| *t == tag)
+    }
+
+    /// Inserts the partial translation for `vaddr`.
+    pub fn insert(&mut self, vaddr: VirtAddr, next_table: PhysAddr) {
+        let tag = self.level.tag_of(vaddr);
+        self.tick += 1;
+        if let Some(e) = self.entries.iter_mut().find(|(t, _, _)| *t == tag) {
+            e.1 = next_table;
+            e.2 = self.tick;
+            return;
+        }
+        if self.entries.len() < self.capacity {
+            self.entries.push((tag, next_table, self.tick));
+            return;
+        }
+        let lru = self
+            .entries
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, (_, _, stamp))| *stamp)
+            .map(|(i, _)| i)
+            .expect("cache is non-empty");
+        self.entries[lru] = (tag, next_table, self.tick);
+    }
+
+    /// Removes the entry covering `vaddr`, if present.
+    pub fn invalidate(&mut self, vaddr: VirtAddr) {
+        let tag = self.level.tag_of(vaddr);
+        self.entries.retain(|(t, _, _)| *t != tag);
+    }
+
+    /// Removes every entry.
+    pub fn flush_all(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GIB: u64 = 1 << 30;
+    const TWO_MIB: u64 = 2 << 20;
+
+    #[test]
+    fn tags_cover_the_right_spans() {
+        let level = PscLevel::Pde;
+        // Two addresses in the same 2 MiB region share a PDE tag.
+        assert_eq!(
+            level.tag_of(VirtAddr::new(5 * TWO_MIB)),
+            level.tag_of(VirtAddr::new(5 * TWO_MIB + 0x1f_ffff))
+        );
+        assert_ne!(
+            level.tag_of(VirtAddr::new(5 * TWO_MIB)),
+            level.tag_of(VirtAddr::new(6 * TWO_MIB))
+        );
+        // PDPTE covers 1 GiB.
+        assert_eq!(
+            PscLevel::Pdpte.tag_of(VirtAddr::new(3 * GIB)),
+            PscLevel::Pdpte.tag_of(VirtAddr::new(3 * GIB + 512 * TWO_MIB - 1))
+        );
+    }
+
+    #[test]
+    fn lookup_hit_and_miss() {
+        let mut c = PagingStructureCache::new(PscLevel::Pde, 4);
+        let va = VirtAddr::new(7 * TWO_MIB + 0x123);
+        assert_eq!(c.lookup(va), None);
+        c.insert(va, PhysAddr::new(0x55_000));
+        assert_eq!(c.lookup(VirtAddr::new(7 * TWO_MIB)), Some(PhysAddr::new(0x55_000)));
+        assert!(c.contains(va));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn lru_eviction_when_full() {
+        let mut c = PagingStructureCache::new(PscLevel::Pde, 2);
+        let a = VirtAddr::new(1 * TWO_MIB);
+        let b = VirtAddr::new(2 * TWO_MIB);
+        let d = VirtAddr::new(3 * TWO_MIB);
+        c.insert(a, PhysAddr::new(0x1000));
+        c.insert(b, PhysAddr::new(0x2000));
+        // Touch `a` so `b` becomes LRU.
+        c.lookup(a);
+        c.insert(d, PhysAddr::new(0x3000));
+        assert!(c.contains(a));
+        assert!(!c.contains(b));
+        assert!(c.contains(d));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn insert_existing_tag_updates_payload() {
+        let mut c = PagingStructureCache::new(PscLevel::Pml4e, 4);
+        let va = VirtAddr::new(0x12345 * TWO_MIB);
+        c.insert(va, PhysAddr::new(0x1000));
+        c.insert(va, PhysAddr::new(0x2000));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.lookup(va), Some(PhysAddr::new(0x2000)));
+    }
+
+    #[test]
+    fn invalidate_and_flush() {
+        let mut c = PagingStructureCache::new(PscLevel::Pdpte, 4);
+        let a = VirtAddr::new(1 * GIB);
+        let b = VirtAddr::new(2 * GIB);
+        c.insert(a, PhysAddr::new(0x1000));
+        c.insert(b, PhysAddr::new(0x2000));
+        c.invalidate(a);
+        assert!(!c.contains(a));
+        assert!(c.contains(b));
+        c.flush_all();
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn next_table_levels() {
+        assert_eq!(PscLevel::Pde.next_table_level(), 1);
+        assert_eq!(PscLevel::Pdpte.next_table_level(), 2);
+        assert_eq!(PscLevel::Pml4e.next_table_level(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_rejected() {
+        let _ = PagingStructureCache::new(PscLevel::Pde, 0);
+    }
+}

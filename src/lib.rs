@@ -1,0 +1,11 @@
+//! Workspace-level umbrella crate: re-exports the PThammer reproduction crates
+//! so the examples and integration tests can use a single dependency root.
+#![forbid(unsafe_code)]
+pub use pthammer;
+pub use pthammer_cache as cache;
+pub use pthammer_defenses as defenses;
+pub use pthammer_dram as dram;
+pub use pthammer_kernel as kernel;
+pub use pthammer_machine as machine;
+pub use pthammer_mmu as mmu;
+pub use pthammer_types as types;

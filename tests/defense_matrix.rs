@@ -1,0 +1,58 @@
+//! Cross-crate integration test: the attack against placement-policy
+//! defenses on the small machine. ZebRAM's guard rows must prevent any
+//! exploitable corruption; the undefended baseline must observe flips.
+
+use pthammer::{AttackConfig, PtHammer};
+use pthammer_cache::{CacheHierarchyConfig, LlcConfig, ReplacementPolicy};
+use pthammer_defenses::ZebramPolicy;
+use pthammer_dram::FlipModelProfile;
+use pthammer_kernel::{KernelConfig, System};
+use pthammer_machine::MachineConfig;
+
+fn machine(seed: u64) -> MachineConfig {
+    let mut cfg = MachineConfig::test_small(FlipModelProfile::ci(), seed);
+    cfg.cache = CacheHierarchyConfig {
+        llc: LlcConfig {
+            slices: 2,
+            sets_per_slice: 256,
+            ways: 8,
+            latency: 18,
+            replacement: ReplacementPolicy::Srrip,
+            inclusive: true,
+        },
+        ..CacheHierarchyConfig::test_small(seed)
+    };
+    cfg
+}
+
+fn attack_config(seed: u64) -> AttackConfig {
+    AttackConfig {
+        spray_bytes: 640 << 20,
+        hammer_rounds_per_attempt: 1_500,
+        max_attempts: 8,
+        llc_profile_trials: 6,
+        ..AttackConfig::quick_test(seed, false)
+    }
+}
+
+#[test]
+fn zebram_guard_rows_prevent_exploitable_corruption() {
+    let cfg = machine(103);
+    let policy = Box::new(ZebramPolicy::new(&cfg.dram.geometry));
+    let mut sys = System::new(cfg, KernelConfig::default_config(), policy);
+    let pid = sys.spawn_process(1000).unwrap();
+    let outcome = PtHammer::new(attack_config(103)).unwrap().run(&mut sys, pid).unwrap();
+    // Flips may still occur physically, but they land in guard rows, so the
+    // attacker's sprayed mappings never change and escalation is impossible.
+    assert_eq!(outcome.exploitable_flips, 0, "{outcome:?}");
+    assert!(!outcome.escalated);
+    assert_eq!(sys.getuid(pid).unwrap(), 1000);
+}
+
+#[test]
+fn undefended_baseline_observes_corrupted_mappings() {
+    let mut sys = System::undefended(machine(104));
+    let pid = sys.spawn_process(1000).unwrap();
+    let outcome = PtHammer::new(attack_config(104)).unwrap().run(&mut sys, pid).unwrap();
+    assert!(outcome.flips_observed >= 1, "{outcome:?}");
+}

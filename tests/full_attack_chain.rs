@@ -1,0 +1,78 @@
+//! Cross-crate integration test: the complete PThammer chain (eviction pools,
+//! spray, implicit hammering, flip detection, exploitation) on a small but
+//! fully modelled machine.
+
+use pthammer::{AttackConfig, PtHammer};
+use pthammer_cache::{CacheHierarchyConfig, LlcConfig, ReplacementPolicy};
+use pthammer_dram::FlipModelProfile;
+use pthammer_kernel::System;
+use pthammer_machine::MachineConfig;
+
+fn small_vulnerable_machine(seed: u64) -> MachineConfig {
+    let mut cfg = MachineConfig::test_small(FlipModelProfile::ci(), seed);
+    cfg.cache = CacheHierarchyConfig {
+        llc: LlcConfig {
+            slices: 2,
+            sets_per_slice: 256,
+            ways: 8,
+            latency: 18,
+            replacement: ReplacementPolicy::Srrip,
+            inclusive: true,
+        },
+        ..CacheHierarchyConfig::test_small(seed)
+    };
+    cfg
+}
+
+#[test]
+fn pthammer_observes_flips_and_reports_timings_end_to_end() {
+    let mut sys = System::undefended(small_vulnerable_machine(101));
+    let pid = sys.spawn_process(1000).unwrap();
+    let config = AttackConfig {
+        spray_bytes: 640 << 20,
+        hammer_rounds_per_attempt: 1_500,
+        max_attempts: 20,
+        llc_profile_trials: 6,
+        ..AttackConfig::quick_test(101, false)
+    };
+    let attack = PtHammer::new(config).unwrap();
+    let outcome = attack.run(&mut sys, pid).unwrap();
+
+    // The attack observed at least one corrupted mapping, its eviction pools
+    // were timed, and all reported timings are internally consistent.
+    assert!(outcome.flips_observed >= 1, "{outcome:?}");
+    assert!(outcome.timings.tlb_pool_prep_cycles > 0);
+    assert!(outcome.timings.llc_pool_prep_cycles > 0);
+    assert!(outcome.timings.hammer_cycles_per_attempt > 0);
+    assert!(outcome.timings.check_cycles_per_attempt > 0);
+    assert!(outcome.timings.time_to_first_flip_cycles.is_some());
+    assert!(outcome.implicit_dram_rate > 0.5);
+    if outcome.escalated {
+        assert_eq!(outcome.uid_after, 0);
+        let escalated = outcome.route.unwrap().escalated_pid();
+        assert_eq!(sys.getuid(escalated).unwrap(), 0);
+    } else {
+        assert_eq!(sys.getuid(pid).unwrap(), 1000);
+    }
+}
+
+#[test]
+fn invulnerable_dram_never_produces_flips() {
+    let mut cfg = small_vulnerable_machine(102);
+    cfg.dram.flip_profile = FlipModelProfile::invulnerable();
+    let mut sys = System::undefended(cfg);
+    let pid = sys.spawn_process(1000).unwrap();
+    let config = AttackConfig {
+        spray_bytes: 640 << 20,
+        hammer_rounds_per_attempt: 500,
+        max_attempts: 3,
+        llc_profile_trials: 4,
+        ..AttackConfig::quick_test(102, false)
+    };
+    let attack = PtHammer::new(config).unwrap();
+    let outcome = attack.run(&mut sys, pid).unwrap();
+    assert_eq!(outcome.flips_observed, 0);
+    assert!(!outcome.escalated);
+    assert_eq!(sys.getuid(pid).unwrap(), 1000);
+    assert!(sys.machine().applied_flips().is_empty());
+}

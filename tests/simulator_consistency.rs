@@ -1,0 +1,65 @@
+//! Cross-crate consistency checks between the attacker-visible behaviour and
+//! the privileged simulator state.
+
+use pthammer::spray::{spray_page_tables, SPRAY_PATTERN};
+use pthammer::AttackConfig;
+use pthammer_dram::FlipModelProfile;
+use pthammer_kernel::{MmapOptions, System};
+use pthammer_machine::MachineConfig;
+use pthammer_types::{PAGE_SIZE, VirtAddr};
+
+#[test]
+fn sprayed_mappings_agree_with_the_oracle_and_dram_mapping() {
+    let mut sys = System::undefended(MachineConfig::test_small(FlipModelProfile::invulnerable(), 201));
+    let pid = sys.spawn_process(1000).unwrap();
+    let config = AttackConfig {
+        spray_bytes: 512 << 20,
+        ..AttackConfig::quick_test(201, false)
+    };
+    let spray = spray_page_tables(&mut sys, pid, &config).unwrap();
+
+    let row_span = sys.machine().config().dram.geometry.row_span_bytes();
+    let stride = pthammer::pairs::pair_stride(row_span);
+    let low = spray.base + 3 * PAGE_SIZE;
+    let high = low + stride;
+
+    // The stride property the attack relies on: the two L1PTEs are in the
+    // same bank, exactly two rows apart (consecutive buddy allocations).
+    let low_pte = sys.oracle_l1pte_paddr(pid, low).unwrap();
+    let high_pte = sys.oracle_l1pte_paddr(pid, high).unwrap();
+    let low_loc = pthammer_machine::dram_location(sys.machine(), low_pte);
+    let high_loc = pthammer_machine::dram_location(sys.machine(), high_pte);
+    assert!(low_loc.same_bank(&high_loc));
+    assert_eq!(high_loc.row - low_loc.row, 2);
+
+    // Every sprayed access the attacker performs reads the pattern, and the
+    // data physically lives in the single shared frame.
+    let user_frame = sys.oracle_translate(pid, spray.user_page).unwrap().frame_number();
+    for offset in [0u64, 17 * PAGE_SIZE, stride / 2, stride] {
+        let va = VirtAddr::new(low.as_u64() + offset);
+        assert_eq!(sys.read_u64(pid, va).unwrap().value, SPRAY_PATTERN);
+        assert_eq!(sys.oracle_translate(pid, va).unwrap().frame_number(), user_frame);
+    }
+}
+
+#[test]
+fn attacker_timing_matches_microarchitectural_state() {
+    let mut sys = System::undefended(MachineConfig::test_small(FlipModelProfile::invulnerable(), 202));
+    let pid = sys.spawn_process(1000).unwrap();
+    let va = sys
+        .mmap(pid, 4 * PAGE_SIZE, MmapOptions { populate: true, ..MmapOptions::default() })
+        .unwrap();
+    // Cold access: page walk plus DRAM.
+    let cold = sys.read_u64(pid, va).unwrap();
+    // Warm access: TLB hit plus L1 hit; must be much faster, and the latency
+    // the attacker sees equals the clock advance.
+    let before = sys.rdtsc();
+    let warm = sys.read_u64(pid, va).unwrap();
+    let elapsed = sys.rdtsc() - before;
+    assert!(warm.latency < cold.latency);
+    assert_eq!(elapsed, warm.latency.as_u64());
+    // clflush makes the next access slower again (data from DRAM).
+    sys.clflush(pid, va).unwrap();
+    let flushed = sys.read_u64(pid, va).unwrap();
+    assert!(flushed.latency > warm.latency);
+}
