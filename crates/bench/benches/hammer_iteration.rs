@@ -34,8 +34,16 @@ fn bench_hammer_iteration(c: &mut Criterion) {
         llc_profile_trials: 4,
         ..AttackConfig::quick_test(3, false)
     };
-    let tlb_pool = { let pages = PtHammer::tlb_eviction_pages(&sys); TlbEvictionPool::build(&mut sys, pid, &config, pages) }.unwrap();
-    let llc_pool = { let lines = PtHammer::llc_eviction_lines(&sys); LlcEvictionPool::build(&mut sys, pid, &config, lines) }.unwrap();
+    let tlb_pool = {
+        let pages = PtHammer::tlb_eviction_pages(&sys);
+        TlbEvictionPool::build(&mut sys, pid, &config, pages)
+    }
+    .unwrap();
+    let llc_pool = {
+        let lines = PtHammer::llc_eviction_lines(&sys);
+        LlcEvictionPool::build(&mut sys, pid, &config, lines)
+    }
+    .unwrap();
     let spray = spray_page_tables(&mut sys, pid, &config).unwrap();
     let row_span = sys.machine().config().dram.geometry.row_span_bytes();
     let mut rng = StdRng::seed_from_u64(3);

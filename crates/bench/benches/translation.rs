@@ -7,7 +7,10 @@ use pthammer_machine::MachineConfig;
 use pthammer_types::PAGE_SIZE;
 
 fn bench_translation(c: &mut Criterion) {
-    let mut sys = System::undefended(MachineConfig::test_small(FlipModelProfile::invulnerable(), 5));
+    let mut sys = System::undefended(MachineConfig::test_small(
+        FlipModelProfile::invulnerable(),
+        5,
+    ));
     let pid = sys.spawn_process(1000).unwrap();
     let pages = 512u64;
     let va = sys

@@ -7,6 +7,9 @@ fn main() {
     println!("scale: {}", scale.describe());
     let machine = MachineChoice::selected()[0];
     let (without, with_trr) = scenarios::ablation_trr(machine, scale, 42);
-    println!("{}: flips without TRR = {without}, flips with TRR = {with_trr}", machine.name());
+    println!(
+        "{}: flips without TRR = {without}, flips with TRR = {with_trr}",
+        machine.name()
+    );
     println!("Expected shape: TRR suppresses (or strongly reduces) flips from simple double-sided hammering.");
 }

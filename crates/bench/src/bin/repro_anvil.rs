@@ -12,7 +12,10 @@ fn main() {
         "ANVIL (explicit loads only)  vs clflush double-sided hammer : detected = {} (rate {:.0}/Mcycle)",
         eval.explicit_detected, eval.explicit_rate
     );
-    println!("ANVIL (explicit loads only)  vs PThammer                    : detected = {}", eval.implicit_detected_naive);
+    println!(
+        "ANVIL (explicit loads only)  vs PThammer                    : detected = {}",
+        eval.implicit_detected_naive
+    );
     println!(
         "ANVIL (+implicit attribution) vs PThammer                   : detected = {} (implicit rate {:.0}/Mcycle)",
         eval.implicit_detected_extended, eval.implicit_rate

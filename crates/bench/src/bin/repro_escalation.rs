@@ -6,12 +6,7 @@ fn main() {
     let scale = ExperimentScale::from_env();
     println!("scale: {}", scale.describe());
     for machine in MachineChoice::selected() {
-        let result = scenarios::defense_eval(
-            machine,
-            scenarios::DefenseChoice::None,
-            scale,
-            42,
-        );
+        let result = scenarios::defense_eval(machine, scenarios::DefenseChoice::None, scale, 42);
         println!(
             "{} (undefended): escalated={} after {} attempts, {} flips ({} exploitable), route {:?}",
             machine.name(),

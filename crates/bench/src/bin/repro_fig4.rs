@@ -14,7 +14,11 @@ fn main() {
         let sweep = scenarios::fig4_llc_sweep(machine, scale, 42);
         for (size, rate) in sweep {
             table::row(
-                &[machine.name().to_string(), size.to_string(), table::fmt_f64(rate * 100.0, 1)],
+                &[
+                    machine.name().to_string(),
+                    size.to_string(),
+                    table::fmt_f64(rate * 100.0, 1),
+                ],
                 &widths,
             );
         }

@@ -9,6 +9,6 @@ fn main() {
         &widths,
     );
     for row in pthammer_bench::scenarios::table1_rows() {
-        table::row(&row.to_vec(), &widths);
+        table::row(row.as_ref(), &widths);
     }
 }

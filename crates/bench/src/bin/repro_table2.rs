@@ -8,8 +8,16 @@ fn main() {
     table::header(
         "Table II: PThammer stage timings (simulated time)",
         &[
-            "Machine", "Setting", "TLBprep(ms)", "LLCprep(s)", "TLBsel(us)", "LLCsel(ms)",
-            "Hammer(ms)", "Check(ms)", "ToFlip(min)", "Escalated",
+            "Machine",
+            "Setting",
+            "TLBprep(ms)",
+            "LLCprep(s)",
+            "TLBsel(us)",
+            "LLCsel(ms)",
+            "Hammer(ms)",
+            "Check(ms)",
+            "ToFlip(min)",
+            "Escalated",
         ],
         &widths,
     );

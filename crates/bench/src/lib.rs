@@ -19,4 +19,4 @@
 pub mod scenarios;
 pub mod table;
 
-pub use scenarios::{ExperimentScale, MachineChoice};
+pub use scenarios::{DefenseChoice, ExperimentScale, MachineChoice};

@@ -7,62 +7,18 @@ use pthammer::{
     spray::spray_page_tables,
     AttackConfig, AttackOutcome, ImplicitHammer, PtHammer,
 };
-use pthammer_defenses::{AnvilDetector, AnvilMode, CattPolicy, CtaPolicy, RipRhPolicy, ZebramPolicy};
-use pthammer_dram::{FlipModel, FlipModelProfile, TrrConfig};
+use pthammer_defenses::{AnvilDetector, AnvilMode};
+use pthammer_dram::{FlipModelProfile, TrrConfig};
+use pthammer_harness::{
+    run_campaign, run_cell, CampaignConfig, CampaignReport, CellCoord, ProfileChoice,
+    ScenarioMatrix,
+};
 use pthammer_kernel::{DefaultPolicy, KernelConfig, PlacementPolicy, System};
-use pthammer_machine::MachineConfig;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-/// Which Table I machine model to instantiate.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum MachineChoice {
-    /// Lenovo T420 (Sandy Bridge, 3 MiB 12-way LLC).
-    LenovoT420,
-    /// Lenovo X230 (Ivy Bridge, 3 MiB 12-way LLC).
-    LenovoX230,
-    /// Dell E6420 (Sandy Bridge, 4 MiB 16-way LLC).
-    DellE6420,
-}
-
-impl MachineChoice {
-    /// All Table I machines.
-    pub fn all() -> Vec<MachineChoice> {
-        vec![
-            MachineChoice::LenovoT420,
-            MachineChoice::LenovoX230,
-            MachineChoice::DellE6420,
-        ]
-    }
-
-    /// The machines to run given the `PTHAMMER_ALL_MACHINES` environment
-    /// variable (default: only the T420, to keep host time reasonable).
-    pub fn selected() -> Vec<MachineChoice> {
-        if std::env::var("PTHAMMER_ALL_MACHINES").map(|v| v == "1").unwrap_or(false) {
-            Self::all()
-        } else {
-            vec![MachineChoice::LenovoT420]
-        }
-    }
-
-    /// Human-readable machine name.
-    pub fn name(&self) -> &'static str {
-        match self {
-            MachineChoice::LenovoT420 => "Lenovo T420",
-            MachineChoice::LenovoX230 => "Lenovo X230",
-            MachineChoice::DellE6420 => "Dell E6420",
-        }
-    }
-
-    /// Builds the machine configuration with the given weak-cell profile.
-    pub fn config(&self, profile: FlipModelProfile, seed: u64) -> MachineConfig {
-        match self {
-            MachineChoice::LenovoT420 => MachineConfig::lenovo_t420(profile, seed),
-            MachineChoice::LenovoX230 => MachineConfig::lenovo_x230(profile, seed),
-            MachineChoice::DellE6420 => MachineConfig::dell_e6420(profile, seed),
-        }
-    }
-}
+pub use pthammer_defenses::DefenseChoice;
+pub use pthammer_machine::MachineChoice;
 
 /// Experiment scale: scaled (default, CI/laptop friendly) or full
 /// (paper-calibrated weak-cell profile and spray size).
@@ -76,7 +32,9 @@ impl ExperimentScale {
     /// Reads the scale from the `PTHAMMER_FULL` environment variable.
     pub fn from_env() -> Self {
         Self {
-            full: std::env::var("PTHAMMER_FULL").map(|v| v == "1").unwrap_or(false),
+            full: std::env::var("PTHAMMER_FULL")
+                .map(|v| v == "1")
+                .unwrap_or(false),
         }
     }
 
@@ -87,28 +45,33 @@ impl ExperimentScale {
 
     /// The weak-cell profile for this scale.
     pub fn flip_profile(&self) -> FlipModelProfile {
+        self.profile_choice().profile()
+    }
+
+    /// The named profile axis value for this scale (campaign harness axis).
+    pub fn profile_choice(&self) -> ProfileChoice {
         if self.full {
-            FlipModelProfile::paper()
+            ProfileChoice::Paper
         } else {
-            FlipModelProfile::fast()
+            ProfileChoice::Fast
         }
     }
 
-    /// The attack configuration for this scale.
-    pub fn attack_config(&self, seed: u64, superpages: bool) -> AttackConfig {
+    /// The campaign-harness configuration for this scale.
+    pub fn campaign_config(&self, base_seed: u64) -> CampaignConfig {
         if self.full {
-            AttackConfig::paper(seed, superpages)
+            CampaignConfig::full(base_seed)
         } else {
-            AttackConfig {
-                spray_bytes: 1 << 30,
-                hammer_rounds_per_attempt: 2_500,
-                max_attempts: 12,
-                llc_profile_trials: 6,
-                pair_candidates_per_round: 4,
-                eviction_buffer_factor: 2.0,
-                ..AttackConfig::quick_test(seed, superpages)
-            }
+            CampaignConfig::scaled(base_seed)
         }
+    }
+
+    /// The attack configuration for this scale, derived from the campaign
+    /// preset so bench scenarios and campaigns share one set of knobs.
+    pub fn attack_config(&self, seed: u64, superpages: bool) -> AttackConfig {
+        let mut campaign = self.campaign_config(seed);
+        campaign.superpages = superpages;
+        campaign.attack_config(seed, DefenseChoice::None)
     }
 
     /// Human-readable description of the scale.
@@ -171,7 +134,11 @@ pub fn table1_rows() -> Vec<[String; 5]> {
 // ---------------------------------------------------------------------------
 
 /// TLB miss rate as a function of the eviction-set size (Figure 3).
-pub fn fig3_tlb_sweep(machine: MachineChoice, scale: ExperimentScale, seed: u64) -> Vec<(usize, f64)> {
+pub fn fig3_tlb_sweep(
+    machine: MachineChoice,
+    scale: ExperimentScale,
+    seed: u64,
+) -> Vec<(usize, f64)> {
     let mut sys = boot(machine, scale, false, Box::new(DefaultPolicy::new()), seed);
     let pid = sys.spawn_process(1000).expect("spawn");
     let config = scale.attack_config(seed, false);
@@ -181,7 +148,11 @@ pub fn fig3_tlb_sweep(machine: MachineChoice, scale: ExperimentScale, seed: u64)
 }
 
 /// LLC miss rate as a function of the eviction-set size (Figure 4).
-pub fn fig4_llc_sweep(machine: MachineChoice, scale: ExperimentScale, seed: u64) -> Vec<(usize, f64)> {
+pub fn fig4_llc_sweep(
+    machine: MachineChoice,
+    scale: ExperimentScale,
+    seed: u64,
+) -> Vec<(usize, f64)> {
     let mut sys = boot(machine, scale, false, Box::new(DefaultPolicy::new()), seed);
     let pid = sys.spawn_process(1000).expect("spawn");
     let config = scale.attack_config(seed, false);
@@ -237,7 +208,11 @@ pub fn fig5_padding_sweep(
                 mode: ExplicitMode::ClflushDoubleSided,
                 nop_padding_cycles: padding,
                 rounds_per_target: if scale.full { 200_000 } else { 1_500 },
-                max_total_cycles: if scale.full { 2_600_000_000_000 } else { 400_000_000 },
+                max_total_cycles: if scale.full {
+                    2_600_000_000_000
+                } else {
+                    400_000_000
+                },
                 seed,
             };
             let result = hammer
@@ -264,19 +239,38 @@ pub fn fig6_hammer_samples(
     scale: ExperimentScale,
     seed: u64,
 ) -> Vec<u64> {
-    let mut sys = boot(machine, scale, superpages, Box::new(DefaultPolicy::new()), seed);
+    let mut sys = boot(
+        machine,
+        scale,
+        superpages,
+        Box::new(DefaultPolicy::new()),
+        seed,
+    );
     let pid = sys.spawn_process(1000).expect("spawn");
     let config = scale.attack_config(seed, superpages);
-    let tlb_pool = { let pages = PtHammer::tlb_eviction_pages(&sys); TlbEvictionPool::build(&mut sys, pid, &config, pages) }
-        .expect("TLB pool");
-    let llc_pool = { let lines = PtHammer::llc_eviction_lines(&sys); LlcEvictionPool::build(&mut sys, pid, &config, lines) }
-        .expect("LLC pool");
+    let tlb_pool = {
+        let pages = PtHammer::tlb_eviction_pages(&sys);
+        TlbEvictionPool::build(&mut sys, pid, &config, pages)
+    }
+    .expect("TLB pool");
+    let llc_pool = {
+        let lines = PtHammer::llc_eviction_lines(&sys);
+        LlcEvictionPool::build(&mut sys, pid, &config, lines)
+    }
+    .expect("LLC pool");
     let spray = spray_page_tables(&mut sys, pid, &config).expect("spray");
     let row_span = sys.machine().config().dram.geometry.row_span_bytes();
     let mut rng = StdRng::seed_from_u64(seed);
     let pair = candidate_pairs(&spray, row_span, 1, &mut rng)[0];
-    let hammer = ImplicitHammer::prepare(&mut sys, pid, pair, &tlb_pool, &llc_pool, config.llc_profile_trials)
-        .expect("prepare");
+    let hammer = ImplicitHammer::prepare(
+        &mut sys,
+        pid,
+        pair,
+        &tlb_pool,
+        &llc_pool,
+        config.llc_profile_trials,
+    )
+    .expect("prepare");
     hammer.hammer(&mut sys, pid, 10).expect("warm up");
     hammer
         .round_cycle_samples(&mut sys, pid, 50)
@@ -319,7 +313,13 @@ pub fn table2_run(
     scale: ExperimentScale,
     seed: u64,
 ) -> Table2Row {
-    let mut sys = boot(machine, scale, superpages, Box::new(DefaultPolicy::new()), seed);
+    let mut sys = boot(
+        machine,
+        scale,
+        superpages,
+        Box::new(DefaultPolicy::new()),
+        seed,
+    );
     let clock_hz = sys.machine().clock_hz();
     let pid = sys.spawn_process(1000).expect("spawn");
     let attack = PtHammer::new(scale.attack_config(seed, superpages)).expect("config");
@@ -361,10 +361,16 @@ pub fn selection_accuracy(
     let mut sys = boot(machine, scale, true, Box::new(DefaultPolicy::new()), seed);
     let pid = sys.spawn_process(1000).expect("spawn");
     let config = scale.attack_config(seed, true);
-    let tlb_pool = { let pages = PtHammer::tlb_eviction_pages(&sys); TlbEvictionPool::build(&mut sys, pid, &config, pages) }
-        .expect("TLB pool");
-    let llc_pool = { let lines = PtHammer::llc_eviction_lines(&sys); LlcEvictionPool::build(&mut sys, pid, &config, lines) }
-        .expect("LLC pool");
+    let tlb_pool = {
+        let pages = PtHammer::tlb_eviction_pages(&sys);
+        TlbEvictionPool::build(&mut sys, pid, &config, pages)
+    }
+    .expect("TLB pool");
+    let llc_pool = {
+        let lines = PtHammer::llc_eviction_lines(&sys);
+        LlcEvictionPool::build(&mut sys, pid, &config, lines)
+    }
+    .expect("LLC pool");
     let spray = spray_page_tables(&mut sys, pid, &config).expect("spray");
     let mut rng = StdRng::seed_from_u64(seed ^ 0xC);
     let row_span = sys.machine().config().dram.geometry.row_span_bytes();
@@ -378,7 +384,13 @@ pub fn selection_accuracy(
             // More profiling trials than the hammer loop uses: selection is a
             // one-off per pair, so the attacker can afford the precision.
             let selected = llc_pool
-                .select_for_l1pte(&mut sys, pid, target, &tlb_set, config.llc_profile_trials.max(12))
+                .select_for_l1pte(
+                    &mut sys,
+                    pid,
+                    target,
+                    &tlb_set,
+                    config.llc_profile_trials.max(12),
+                )
                 .expect("selection");
             let l1pte_pa = sys.oracle_l1pte_paddr(pid, target).expect("l1pte");
             let expected = pthammer_machine::llc_location(sys.machine(), l1pte_pa);
@@ -419,10 +431,16 @@ pub fn pair_selection_accuracy(
     let mut sys = boot(machine, scale, true, Box::new(DefaultPolicy::new()), seed);
     let pid = sys.spawn_process(1000).expect("spawn");
     let config = scale.attack_config(seed, true);
-    let tlb_pool = { let pages = PtHammer::tlb_eviction_pages(&sys); TlbEvictionPool::build(&mut sys, pid, &config, pages) }
-        .expect("TLB pool");
-    let llc_pool = { let lines = PtHammer::llc_eviction_lines(&sys); LlcEvictionPool::build(&mut sys, pid, &config, lines) }
-        .expect("LLC pool");
+    let tlb_pool = {
+        let pages = PtHammer::tlb_eviction_pages(&sys);
+        TlbEvictionPool::build(&mut sys, pid, &config, pages)
+    }
+    .expect("TLB pool");
+    let llc_pool = {
+        let lines = PtHammer::llc_eviction_lines(&sys);
+        LlcEvictionPool::build(&mut sys, pid, &config, lines)
+    }
+    .expect("LLC pool");
     let spray = spray_page_tables(&mut sys, pid, &config).expect("spray");
     let row_span = sys.machine().config().dram.geometry.row_span_bytes();
     let mut rng = StdRng::seed_from_u64(seed ^ 0xD);
@@ -480,65 +498,6 @@ pub fn pair_selection_accuracy(
 // Section IV-G: software-only defenses
 // ---------------------------------------------------------------------------
 
-/// The defense configurations evaluated in Section IV-G (plus the undefended
-/// baseline and ZebRAM).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum DefenseChoice {
-    /// No defense (baseline).
-    None,
-    /// CATT kernel/user partitioning.
-    Catt,
-    /// RIP-RH per-process partitioning.
-    RipRh,
-    /// CTA true-cell L1PT region.
-    Cta,
-    /// ZebRAM guard rows (expected to stop the attack).
-    Zebram,
-}
-
-impl DefenseChoice {
-    /// All evaluated defenses.
-    pub fn all() -> Vec<DefenseChoice> {
-        vec![
-            DefenseChoice::None,
-            DefenseChoice::Catt,
-            DefenseChoice::RipRh,
-            DefenseChoice::Cta,
-            DefenseChoice::Zebram,
-        ]
-    }
-
-    /// Display name.
-    pub fn name(&self) -> &'static str {
-        match self {
-            DefenseChoice::None => "undefended",
-            DefenseChoice::Catt => "CATT",
-            DefenseChoice::RipRh => "RIP-RH",
-            DefenseChoice::Cta => "CTA",
-            DefenseChoice::Zebram => "ZebRAM",
-        }
-    }
-
-    /// Builds the placement policy for a given machine configuration.
-    pub fn policy(&self, machine: &MachineConfig) -> Box<dyn PlacementPolicy> {
-        let geometry = &machine.dram.geometry;
-        match self {
-            DefenseChoice::None => Box::new(DefaultPolicy::new()),
-            DefenseChoice::Catt => Box::new(CattPolicy::new(geometry, 0.25, 1)),
-            DefenseChoice::RipRh => Box::new(RipRhPolicy::new(geometry, 64, 2)),
-            DefenseChoice::Cta => {
-                let model = FlipModel::new(
-                    machine.dram.flip_profile,
-                    machine.dram.flip_seed,
-                    geometry.row_bytes,
-                );
-                Box::new(CtaPolicy::new(geometry, &model, 0.2))
-            }
-            DefenseChoice::Zebram => Box::new(ZebramPolicy::new(geometry)),
-        }
-    }
-}
-
 /// Result of attacking one defense configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DefenseResult {
@@ -556,54 +515,52 @@ pub struct DefenseResult {
     pub route: Option<String>,
 }
 
-/// Runs the attack against one defense (Section IV-G). The CTA run sprays
-/// credentials by spawning many sibling processes, as in the paper's bypass.
+/// Runs the attack against one defense (Section IV-G), driving a single
+/// campaign-harness cell. The CTA cell sprays credentials by spawning many
+/// sibling processes, as in the paper's bypass; ZebRAM attempts are bounded.
 pub fn defense_eval(
     machine: MachineChoice,
     defense: DefenseChoice,
     scale: ExperimentScale,
     seed: u64,
 ) -> DefenseResult {
-    // CTA requires mostly-true-cell rows to exist; bias the profile that way
-    // (the published CTA deployment assumes exactly this DRAM property).
-    let mut machine_cfg = machine.config(scale.flip_profile(), seed);
-    if defense == DefenseChoice::Cta {
-        machine_cfg.dram.flip_profile.true_cell_fraction = 0.9;
+    let config = scale.campaign_config(seed);
+    let coord = CellCoord {
+        machine,
+        defense,
+        profile: scale.profile_choice(),
+        repetition: 0,
+    };
+    let cell = run_cell(&coord, &config);
+    DefenseResult {
+        defense: cell.defense,
+        escalated: cell.escalated,
+        flips_observed: cell.flips_observed,
+        exploitable_flips: cell.exploitable_flips,
+        attempts: cell.attempts,
+        route: cell
+            .route
+            .or(cell.error.map(|e| format!("attack aborted: {e}"))),
     }
-    let policy = defense.policy(&machine_cfg);
-    let mut sys = System::new(machine_cfg, KernelConfig::default_config(), policy);
-    let pid = sys.spawn_process(1000).expect("spawn");
-    if defense == DefenseChoice::Cta {
-        // Spray struct cred objects (the paper uses 32 000 processes; scaled
-        // here — the slab density in kernel memory is what matters).
-        let count = if scale.full { 32_000 } else { 2_000 };
-        sys.spawn_processes(count, 1000).expect("cred spray");
-    }
-    let mut config = scale.attack_config(seed, false);
-    if defense == DefenseChoice::Zebram {
-        // Bound the wasted effort: ZebRAM is expected to stop the attack.
-        config.max_attempts = config.max_attempts.min(6);
-    }
-    let attack = PtHammer::new(config).expect("config");
-    let outcome = attack.run(&mut sys, pid);
-    match outcome {
-        Ok(outcome) => DefenseResult {
-            defense: defense.name().to_string(),
-            escalated: outcome.escalated,
-            flips_observed: outcome.flips_observed,
-            exploitable_flips: outcome.exploitable_flips,
-            attempts: outcome.attempts,
-            route: outcome.route.map(|r| format!("{r:?}")),
-        },
-        Err(err) => DefenseResult {
-            defense: defense.name().to_string(),
-            escalated: false,
-            flips_observed: 0,
-            exploitable_flips: 0,
-            attempts: 0,
-            route: Some(format!("attack aborted: {err}")),
-        },
-    }
+}
+
+/// Runs the full Section IV-G defense sweep (every [`DefenseChoice`]) as one
+/// parallel campaign on the chosen machine and returns the aggregated
+/// report, including per-defense escalation rates and deltas against the
+/// undefended baseline.
+pub fn defense_campaign(
+    machine: MachineChoice,
+    scale: ExperimentScale,
+    repetitions: u32,
+    base_seed: u64,
+) -> CampaignReport {
+    let matrix = ScenarioMatrix::new(
+        vec![machine],
+        DefenseChoice::all(),
+        vec![scale.profile_choice()],
+        repetitions,
+    );
+    run_campaign(&matrix, &scale.campaign_config(base_seed))
 }
 
 // ---------------------------------------------------------------------------
@@ -660,19 +617,29 @@ pub fn anvil_eval(machine: MachineChoice, scale: ExperimentScale, seed: u64) -> 
         let mut sys = boot(machine, scale, true, Box::new(DefaultPolicy::new()), seed);
         let pid = sys.spawn_process(1000).expect("spawn");
         let config = scale.attack_config(seed, true);
-        let tlb_pool =
-            { let pages = PtHammer::tlb_eviction_pages(&sys); TlbEvictionPool::build(&mut sys, pid, &config, pages) }
-                .expect("TLB pool");
-        let llc_pool =
-            { let lines = PtHammer::llc_eviction_lines(&sys); LlcEvictionPool::build(&mut sys, pid, &config, lines) }
-                .expect("LLC pool");
+        let tlb_pool = {
+            let pages = PtHammer::tlb_eviction_pages(&sys);
+            TlbEvictionPool::build(&mut sys, pid, &config, pages)
+        }
+        .expect("TLB pool");
+        let llc_pool = {
+            let lines = PtHammer::llc_eviction_lines(&sys);
+            LlcEvictionPool::build(&mut sys, pid, &config, lines)
+        }
+        .expect("LLC pool");
         let spray = spray_page_tables(&mut sys, pid, &config).expect("spray");
         let row_span = sys.machine().config().dram.geometry.row_span_bytes();
         let mut rng = StdRng::seed_from_u64(seed);
         let pair = candidate_pairs(&spray, row_span, 1, &mut rng)[0];
-        let hammer =
-            ImplicitHammer::prepare(&mut sys, pid, pair, &tlb_pool, &llc_pool, config.llc_profile_trials)
-                .expect("prepare");
+        let hammer = ImplicitHammer::prepare(
+            &mut sys,
+            pid,
+            pair,
+            &tlb_pool,
+            &llc_pool,
+            config.llc_profile_trials,
+        )
+        .expect("prepare");
         let start_cycles = sys.rdtsc();
         let start = sys.machine().dram_stats().accesses;
         let stats = hammer.hammer(&mut sys, pid, 2_000).expect("hammer");
@@ -691,8 +658,7 @@ pub fn anvil_eval(machine: MachineChoice, scale: ExperimentScale, seed: u64) -> 
     let explicit_verdict =
         naive_explicit.observe_window(explicit_rates.0, explicit_rates.1, explicit_rates.2);
     let naive_verdict = naive_implicit.observe_window(implicit_rates.0, 0, implicit_rates.2);
-    let extended_verdict =
-        extended_implicit.observe_window(implicit_rates.0, 0, implicit_rates.2);
+    let extended_verdict = extended_implicit.observe_window(implicit_rates.0, 0, implicit_rates.2);
     AnvilEvaluation {
         explicit_detected: explicit_verdict.detected,
         implicit_detected_naive: naive_verdict.detected,
@@ -708,7 +674,11 @@ pub fn ablation_trr(machine: MachineChoice, scale: ExperimentScale, seed: u64) -
     let run = |trr: TrrConfig| -> usize {
         let mut machine_cfg = machine.config(scale.flip_profile(), seed);
         machine_cfg.dram.trr = trr;
-        let mut sys = System::new(machine_cfg, KernelConfig::default_config(), Box::new(DefaultPolicy::new()));
+        let mut sys = System::new(
+            machine_cfg,
+            KernelConfig::default_config(),
+            Box::new(DefaultPolicy::new()),
+        );
         let pid = sys.spawn_process(1000).expect("spawn");
         let hammer = ExplicitHammer::setup(&mut sys, pid, 32 << 20, u64::MAX).expect("setup");
         let row_span = sys.machine().config().dram.geometry.row_span_bytes();

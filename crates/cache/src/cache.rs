@@ -48,7 +48,10 @@ impl SetAssociativeCache {
     ///
     /// Panics if `sets` is not a power of two or `ways` is zero.
     pub fn new(sets: u32, ways: u32, replacement: ReplacementPolicy, seed: u64) -> Self {
-        assert!(sets.is_power_of_two() && sets > 0, "sets must be a power of two");
+        assert!(
+            sets.is_power_of_two() && sets > 0,
+            "sets must be a power of two"
+        );
         assert!(ways > 0, "ways must be non-zero");
         let tags = vec![vec![None; ways as usize]; sets as usize];
         let meta = (0..sets)
@@ -85,7 +88,7 @@ impl SetAssociativeCache {
     pub fn contains(&self, paddr: PhysAddr) -> bool {
         let set = self.set_index(paddr) as usize;
         let tag = Self::line_tag(paddr);
-        self.tags[set].iter().any(|slot| *slot == Some(tag))
+        self.tags[set].contains(&Some(tag))
     }
 
     /// Looks up the line, updating replacement state on a hit.
@@ -93,7 +96,10 @@ impl SetAssociativeCache {
         let set = self.set_index(paddr);
         let tag = Self::line_tag(paddr);
         let set_idx = set as usize;
-        if let Some(way) = self.tags[set_idx].iter().position(|slot| *slot == Some(tag)) {
+        if let Some(way) = self.tags[set_idx]
+            .iter()
+            .position(|slot| *slot == Some(tag))
+        {
             self.meta[set_idx].on_hit(way);
             CacheAccess { hit: true, set }
         } else {
@@ -147,7 +153,10 @@ impl SetAssociativeCache {
 
     /// Number of valid lines currently held in the given set.
     pub fn occupancy(&self, set: u32) -> usize {
-        self.tags[set as usize].iter().filter(|s| s.is_some()).count()
+        self.tags[set as usize]
+            .iter()
+            .filter(|s| s.is_some())
+            .count()
     }
 }
 
@@ -231,8 +240,8 @@ mod tests {
     #[test]
     fn different_sets_do_not_interfere() {
         let mut c = SetAssociativeCache::new(16, 1, ReplacementPolicy::Lru, 1);
-        let a = PhysAddr::new(0 * 64);
-        let b = PhysAddr::new(1 * 64);
+        let a = PhysAddr::new(0);
+        let b = PhysAddr::new(64);
         c.fill(a);
         c.fill(b);
         assert!(c.contains(a));

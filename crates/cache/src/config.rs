@@ -50,7 +50,10 @@ impl CacheLevelConfig {
     /// Returns a description of the problem.
     pub fn validate(&self) -> Result<(), String> {
         if self.sets == 0 || !self.sets.is_power_of_two() {
-            return Err(format!("cache sets must be a power of two, got {}", self.sets));
+            return Err(format!(
+                "cache sets must be a power of two, got {}",
+                self.sets
+            ));
         }
         if self.ways == 0 {
             return Err("cache associativity must be non-zero".to_string());
@@ -221,8 +224,12 @@ mod tests {
 
     #[test]
     fn presets_validate() {
-        assert!(CacheHierarchyConfig::sandy_bridge_3mib(1).validate().is_ok());
-        assert!(CacheHierarchyConfig::sandy_bridge_4mib(1).validate().is_ok());
+        assert!(CacheHierarchyConfig::sandy_bridge_3mib(1)
+            .validate()
+            .is_ok());
+        assert!(CacheHierarchyConfig::sandy_bridge_4mib(1)
+            .validate()
+            .is_ok());
         assert!(CacheHierarchyConfig::test_small(1).validate().is_ok());
     }
 

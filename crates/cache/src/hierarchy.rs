@@ -5,10 +5,7 @@ use serde::{Deserialize, Serialize};
 use pthammer_types::{Cycles, MemoryLevel, PhysAddr};
 
 use crate::{
-    cache::SetAssociativeCache,
-    config::CacheHierarchyConfig,
-    pmc::CachePmc,
-    slice::SliceHasher,
+    cache::SetAssociativeCache, config::CacheHierarchyConfig, pmc::CachePmc, slice::SliceHasher,
 };
 
 /// Result of a lookup through the hierarchy.
@@ -47,7 +44,9 @@ impl CacheHierarchy {
     ///
     /// Panics if the configuration is invalid.
     pub fn new(config: CacheHierarchyConfig) -> Self {
-        config.validate().expect("invalid cache hierarchy configuration");
+        config
+            .validate()
+            .expect("invalid cache hierarchy configuration");
         let l1d = SetAssociativeCache::new(
             config.l1d.sets,
             config.l1d.ways,
@@ -317,7 +316,10 @@ mod tests {
         }
         // The line should have left L1 but still be in L2 or LLC.
         let level = h.contains(a);
-        assert!(matches!(level, Some(MemoryLevel::L2) | Some(MemoryLevel::Llc)));
+        assert!(matches!(
+            level,
+            Some(MemoryLevel::L2) | Some(MemoryLevel::Llc)
+        ));
         let acc = h.access(a);
         assert_eq!(acc.hit_level, level);
         // After the access it is back in L1.
@@ -379,7 +381,10 @@ mod tests {
         };
         let rate_13 = run(13, cfg);
         let rate_8 = run(8, cfg);
-        assert!(rate_13 > 0.9, "13-line set should evict reliably, got {rate_13}");
+        assert!(
+            rate_13 > 0.9,
+            "13-line set should evict reliably, got {rate_13}"
+        );
         assert!(rate_8 < rate_13, "smaller set should evict less often");
     }
 }

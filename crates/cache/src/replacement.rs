@@ -10,9 +10,10 @@
 use serde::{Deserialize, Serialize};
 
 /// Replacement policy of a set-associative structure.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub enum ReplacementPolicy {
     /// True least-recently-used.
+    #[default]
     Lru,
     /// Static re-reference interval prediction (2-bit RRPV), the default LLC
     /// policy; rarely-touched lines age out quickly.
@@ -23,12 +24,6 @@ pub enum ReplacementPolicy {
     Random,
     /// Bimodal insertion (LRU insertion most of the time), thrash-resistant.
     Bip,
-}
-
-impl Default for ReplacementPolicy {
-    fn default() -> Self {
-        ReplacementPolicy::Lru
-    }
 }
 
 /// Per-set replacement metadata.
@@ -91,7 +86,7 @@ impl SetMeta {
             ReplacementPolicy::Lru => self.meta[way] = self.tick,
             ReplacementPolicy::Bip => {
                 // Mostly insert as LRU (old timestamp); occasionally as MRU.
-                if self.next_rand() % 32 == 0 {
+                if self.next_rand().is_multiple_of(32) {
                     self.meta[way] = self.tick;
                 } else {
                     self.meta[way] = self.tick.saturating_sub(1_000_000);

@@ -56,7 +56,10 @@ impl SliceHasher {
     /// Panics if `slices` is not a power of two or the mask count does not
     /// equal `log2(slices)`.
     pub fn with_masks(slices: u32, masks: Vec<u64>) -> Self {
-        assert!(slices.is_power_of_two(), "slice count must be a power of two");
+        assert!(
+            slices.is_power_of_two(),
+            "slice count must be a power of two"
+        );
         assert_eq!(
             masks.len() as u32,
             slices.trailing_zeros(),

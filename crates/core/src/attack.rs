@@ -47,9 +47,7 @@ impl PtHammer {
     ///
     /// Fails if the configuration is invalid.
     pub fn new(config: AttackConfig) -> Result<Self, AttackError> {
-        config
-            .validate()
-            .map_err(AttackError::InvalidConfig)?;
+        config.validate().map_err(AttackError::InvalidConfig)?;
         Ok(Self { config })
     }
 
@@ -72,11 +70,7 @@ impl PtHammer {
     }
 
     /// Runs the one-off preparation: TLB pool, LLC pool and the spray.
-    pub fn prepare(
-        &self,
-        sys: &mut System,
-        pid: Pid,
-    ) -> Result<PreparedAttack, AttackError> {
+    pub fn prepare(&self, sys: &mut System, pid: Pid) -> Result<PreparedAttack, AttackError> {
         let tlb_pool =
             TlbEvictionPool::build(sys, pid, &self.config, Self::tlb_eviction_pages(sys))?;
         let llc_pool =
@@ -183,8 +177,7 @@ impl PtHammer {
                 dram_hits += stats.low_dram_hits + stats.high_dram_hits;
                 dram_rounds += 2 * stats.rounds;
                 if hammer_cycle_samples.len() < 50 {
-                    hammer_cycle_samples
-                        .extend(hammer.round_cycle_samples(sys, pid, 10)?);
+                    hammer_cycle_samples.extend(hammer.round_cycle_samples(sys, pid, 10)?);
                 }
 
                 // Check for corrupted mappings.

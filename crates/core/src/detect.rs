@@ -97,7 +97,8 @@ pub fn classify_captured_page(
     }
     let first = samples[0];
     let all_equal = samples.iter().all(|&v| v == first);
-    let looks_like_pte = first & 1 == 1 && (first & SPRAY_PTE_FLAG_MASK) & 0x7 == SPRAY_PTE_FLAGS & 0x7;
+    let looks_like_pte =
+        first & 1 == 1 && (first & SPRAY_PTE_FLAG_MASK) & 0x7 == SPRAY_PTE_FLAGS & 0x7;
     if all_equal && looks_like_pte {
         return Ok(CapturedPageKind::L1PageTable { pte_value: first });
     }
@@ -157,8 +158,10 @@ mod tests {
     use pthammer_mmu::Pte;
 
     fn sprayed_system() -> (System, Pid, SprayRegion) {
-        let mut sys =
-            System::undefended(MachineConfig::test_small(FlipModelProfile::invulnerable(), 17));
+        let mut sys = System::undefended(MachineConfig::test_small(
+            FlipModelProfile::invulnerable(),
+            17,
+        ));
         let pid = sys.spawn_process(1000).unwrap();
         let config = AttackConfig {
             spray_bytes: 512 << 20,
@@ -275,6 +278,10 @@ mod tests {
         // the spray pattern (user data), which is neither a PTE nor a cred.
         let kind = classify_captured_page(&mut sys, pid, spray.base).unwrap();
         assert_eq!(kind, CapturedPageKind::Unknown);
-        assert_eq!(SPRAY_PATTERN & 1, 0, "spray pattern must not look like a present PTE");
+        assert_eq!(
+            SPRAY_PATTERN & 1,
+            0,
+            "spray pattern must not look like a present PTE"
+        );
     }
 }

@@ -71,11 +71,15 @@ mod tests {
         }
         .to_string()
         .contains('5'));
-        assert!(AttackError::ExploitFailed("x".into()).to_string().contains('x'));
+        assert!(AttackError::ExploitFailed("x".into())
+            .to_string()
+            .contains('x'));
         assert!(AttackError::EvictionSetUnavailable("y".into())
             .to_string()
             .contains('y'));
-        assert!(AttackError::InvalidConfig("z".into()).to_string().contains('z'));
+        assert!(AttackError::InvalidConfig("z".into())
+            .to_string()
+            .contains('z'));
     }
 
     #[test]

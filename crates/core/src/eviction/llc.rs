@@ -199,8 +199,7 @@ impl LlcEvictionPool {
         minimal_lines: usize,
     ) -> Result<Self, AttackError> {
         let llc = sys.machine().config().cache.llc;
-        let buffer_bytes =
-            ((llc.capacity_bytes() as f64) * config.eviction_buffer_factor) as u64;
+        let buffer_bytes = ((llc.capacity_bytes() as f64) * config.eviction_buffer_factor) as u64;
         let buffer_pages = buffer_bytes / PAGE_SIZE;
         // Page classes distinguished by physical bits 12.. above the page
         // offset within the set index.
@@ -218,7 +217,6 @@ impl LlcEvictionPool {
                     backing: VmaBacking::Anonymous {
                         fill_pattern: 0x4c4c_4320_6275_6600,
                     },
-                    ..MmapOptions::default()
                 },
             )?;
             (va, PageSize::Huge2M)
@@ -399,7 +397,9 @@ fn reduce_to_minimal(
         let mut progress = false;
         let mut index = 0;
         while index < candidates.len() && candidates.len() > minimal_lines {
-            let take = chunk.min(candidates.len() - index).min(candidates.len() - minimal_lines);
+            let take = chunk
+                .min(candidates.len() - index)
+                .min(candidates.len() - minimal_lines);
             if take == 0 {
                 break;
             }
@@ -533,7 +533,11 @@ mod tests {
         } else {
             KernelConfig::default_config()
         };
-        let mut sys = System::new(cfg, kernel_config, Box::new(pthammer_kernel::DefaultPolicy::new()));
+        let mut sys = System::new(
+            cfg,
+            kernel_config,
+            Box::new(pthammer_kernel::DefaultPolicy::new()),
+        );
         let pid = sys.spawn_process(1000).unwrap();
         (sys, pid)
     }
@@ -665,7 +669,10 @@ mod tests {
         let expected = pthammer_machine::llc_location(sys.machine(), l1pte_pa);
         let line_pa = sys.oracle_translate(pid, selected.lines[0]).unwrap();
         let got = pthammer_machine::llc_location(sys.machine(), line_pa);
-        assert_eq!(got, expected, "selected eviction set is not congruent with the L1PTE");
+        assert_eq!(
+            got, expected,
+            "selected eviction set is not congruent with the L1PTE"
+        );
 
         // Using the selected set + TLB eviction forces the next access of the
         // target to load its L1PTE from DRAM.

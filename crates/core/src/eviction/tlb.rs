@@ -45,12 +45,14 @@ impl TlbMapping {
 
     /// L1 dTLB set of a virtual address.
     pub fn l1_set(&self, vaddr: VirtAddr) -> u32 {
-        self.l1_indexing.set_index(vaddr.page_number(), self.l1_sets)
+        self.l1_indexing
+            .set_index(vaddr.page_number(), self.l1_sets)
     }
 
     /// L2 sTLB set of a virtual address.
     pub fn l2_set(&self, vaddr: VirtAddr) -> u32 {
-        self.l2_indexing.set_index(vaddr.page_number(), self.l2_sets)
+        self.l2_indexing
+            .set_index(vaddr.page_number(), self.l2_sets)
     }
 }
 
@@ -107,7 +109,8 @@ impl TlbEvictionPool {
     ) -> Result<Self, AttackError> {
         let mapping = TlbMapping::for_system(sys);
         let mmu = &sys.machine().config().mmu;
-        let total_entries = mmu.l1_dtlb.sets * mmu.l1_dtlb.ways + mmu.l2_stlb.sets * mmu.l2_stlb.ways;
+        let total_entries =
+            mmu.l1_dtlb.sets * mmu.l1_dtlb.ways + mmu.l2_stlb.sets * mmu.l2_stlb.ways;
         let page_count = (total_entries as u64) * 8;
 
         let start = sys.rdtsc();
@@ -321,8 +324,10 @@ mod tests {
     use pthammer_machine::MachineConfig;
 
     fn test_system() -> (System, Pid) {
-        let mut sys =
-            System::undefended(MachineConfig::test_small(FlipModelProfile::invulnerable(), 7));
+        let mut sys = System::undefended(MachineConfig::test_small(
+            FlipModelProfile::invulnerable(),
+            7,
+        ));
         let pid = sys.spawn_process(1000).unwrap();
         (sys, pid)
     }
@@ -381,7 +386,10 @@ mod tests {
         assert!(l1_matches >= 6);
         assert!(l2_matches >= 6);
         // The target itself is never part of its own eviction set.
-        assert!(set.addresses().iter().all(|&p| p.page_number() != target.page_number()));
+        assert!(set
+            .addresses()
+            .iter()
+            .all(|&p| p.page_number() != target.page_number()));
     }
 
     #[test]
@@ -433,7 +441,10 @@ mod tests {
         // The Figure 3 curve is non-trivial and ends at a high miss rate.
         assert!(!cal.miss_rates.is_empty());
         let (_, last_rate) = *cal.miss_rates.last().unwrap();
-        assert!(last_rate > 0.8, "16-page set should evict reliably, got {last_rate}");
+        assert!(
+            last_rate > 0.8,
+            "16-page set should evict reliably, got {last_rate}"
+        );
         // Miss rate at the largest size is at least the rate at the smallest.
         let (_, first_rate) = cal.miss_rates[0];
         assert!(last_rate >= first_rate - 0.1);

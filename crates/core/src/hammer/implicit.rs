@@ -96,8 +96,7 @@ impl ImplicitHammer {
                 "TLB eviction pool has no pages for the target's sets".to_string(),
             ));
         }
-        let llc_low =
-            llc_pool.select_for_l1pte(sys, pid, pair.low, &tlb_low, selection_trials)?;
+        let llc_low = llc_pool.select_for_l1pte(sys, pid, pair.low, &tlb_low, selection_trials)?;
         let llc_high =
             llc_pool.select_for_l1pte(sys, pid, pair.high, &tlb_high, selection_trials)?;
         Ok(Self {
@@ -271,6 +270,9 @@ mod tests {
         assert_eq!(samples.len(), 50);
         let min = *samples.iter().min().unwrap();
         let max = *samples.iter().max().unwrap();
-        assert!(max < 4 * min, "cycle samples too spread: min {min}, max {max}");
+        assert!(
+            max < 4 * min,
+            "cycle samples too spread: min {min}, max {max}"
+        );
     }
 }

@@ -120,7 +120,10 @@ mod tests {
     fn time_conversions() {
         let o = outcome();
         let minutes = o.minutes_to_first_flip().unwrap();
-        assert!((minutes - 1.0).abs() < 1e-9, "156e9 cycles at 2.6 GHz = 1 minute");
+        assert!(
+            (minutes - 1.0).abs() < 1e-9,
+            "156e9 cycles at 2.6 GHz = 1 minute"
+        );
         assert!(o.seconds_to_escalation().unwrap() > o.seconds_to_first_flip().unwrap());
     }
 

@@ -112,8 +112,10 @@ mod tests {
     use pthammer_machine::MachineConfig;
 
     fn quick_system() -> (System, Pid) {
-        let mut sys =
-            System::undefended(MachineConfig::test_small(FlipModelProfile::invulnerable(), 5));
+        let mut sys = System::undefended(MachineConfig::test_small(
+            FlipModelProfile::invulnerable(),
+            5,
+        ));
         let pid = sys.spawn_process(1000).unwrap();
         (sys, pid)
     }
@@ -129,7 +131,10 @@ mod tests {
         assert_eq!(spray.l1pt_count(), 256);
         assert!(sys.stats().l1pt_frames >= 256);
         // Sampled sprayed addresses all read the pattern and alias one frame.
-        let user_frame = sys.oracle_translate(pid, spray.user_page).unwrap().frame_number();
+        let user_frame = sys
+            .oracle_translate(pid, spray.user_page)
+            .unwrap()
+            .frame_number();
         for chunk in spray.chunk_bases().step_by(37) {
             let acc = sys.read_u64(pid, chunk + 5 * PAGE_SIZE).unwrap();
             assert_eq!(acc.value, SPRAY_PATTERN);

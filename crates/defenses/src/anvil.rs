@@ -108,7 +108,10 @@ mod tests {
         let mut anvil = AnvilDetector::new(AnvilMode::ExplicitLoadsOnly, 500.0);
         // A PThammer-like window: almost all DRAM activity is implicit.
         let verdict = anvil.observe_window(1_000_000, 20, 3_000);
-        assert!(!verdict.detected, "unmodified ANVIL cannot see walker accesses");
+        assert!(
+            !verdict.detected,
+            "unmodified ANVIL cannot see walker accesses"
+        );
     }
 
     #[test]
@@ -129,7 +132,10 @@ mod tests {
 
     #[test]
     fn benign_workload_not_flagged() {
-        for mode in [AnvilMode::ExplicitLoadsOnly, AnvilMode::IncludeImplicitAccesses] {
+        for mode in [
+            AnvilMode::ExplicitLoadsOnly,
+            AnvilMode::IncludeImplicitAccesses,
+        ] {
             let mut anvil = AnvilDetector::new(mode, 500.0);
             let verdict = anvil.observe_window(1_000_000, 50, 30);
             assert!(!verdict.detected);
@@ -142,7 +148,10 @@ mod tests {
         anvil.observe_window(1_000_000, 0, 3_000);
         anvil.observe_window(1_000_000, 0, 10);
         assert!((anvil.detection_rate() - 0.5).abs() < 1e-12);
-        assert_eq!(AnvilDetector::new(AnvilMode::ExplicitLoadsOnly, 1.0).detection_rate(), 0.0);
+        assert_eq!(
+            AnvilDetector::new(AnvilMode::ExplicitLoadsOnly, 1.0).detection_rate(),
+            0.0
+        );
     }
 
     #[test]

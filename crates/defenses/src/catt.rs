@@ -131,7 +131,10 @@ mod tests {
         // Any user row index is at least guard_rows away from any kernel row.
         let kernel_last = catt.kernel_rows_end - 1;
         let user_first = catt.user_rows_start;
-        assert!(user_first > kernel_last + 1, "guard row(s) separate the regions");
+        assert!(
+            user_first > kernel_last + 1,
+            "guard row(s) separate the regions"
+        );
     }
 
     #[test]

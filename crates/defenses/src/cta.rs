@@ -169,7 +169,10 @@ mod tests {
             let user = cta
                 .allocate(FramePurpose::UserPage { pid: 1 }, &mut buddy)
                 .unwrap();
-            assert!(user < l1pt, "user frame {user} must be below L1PT frame {l1pt}");
+            assert!(
+                user < l1pt,
+                "user frame {user} must be below L1PT frame {l1pt}"
+            );
         }
     }
 

@@ -39,12 +39,14 @@
 
 mod anvil;
 mod catt;
+mod choice;
 mod cta;
 mod rip_rh;
 mod zebram;
 
 pub use anvil::{AnvilDetector, AnvilMode, AnvilVerdict};
 pub use catt::CattPolicy;
+pub use choice::DefenseChoice;
 pub use cta::CtaPolicy;
 pub use rip_rh::RipRhPolicy;
 pub use zebram::ZebramPolicy;

@@ -78,19 +78,20 @@ impl PlacementPolicy for RipRhPolicy {
                 let (start_row, end_row) = self.band_for(pid);
                 let fpr = frames_per_row(&self.geometry);
                 let geometry = self.geometry;
-                buddy.alloc_frame_filtered(
-                    |f| {
-                        let row = row_of_frame(&geometry, f);
-                        row >= start_row && row < end_row
-                    },
-                    false,
-                )
-                // If the band is exhausted, RIP-RH would grow it; we fall back
-                // to any frame above the kernel share.
-                .or_else(|| {
-                    let min_frame = self.first_user_row * fpr;
-                    buddy.alloc_frame_filtered(|f| f >= min_frame, false)
-                })
+                buddy
+                    .alloc_frame_filtered(
+                        |f| {
+                            let row = row_of_frame(&geometry, f);
+                            row >= start_row && row < end_row
+                        },
+                        false,
+                    )
+                    // If the band is exhausted, RIP-RH would grow it; we fall back
+                    // to any frame above the kernel share.
+                    .or_else(|| {
+                        let min_frame = self.first_user_row * fpr;
+                        buddy.alloc_frame_filtered(|f| f >= min_frame, false)
+                    })
             }
             // Kernel memory (including all page tables) is not protected.
             FramePurpose::PageTable { .. } | FramePurpose::KernelData => buddy.alloc_frame(),

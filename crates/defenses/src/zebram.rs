@@ -22,12 +22,14 @@ pub struct ZebramPolicy {
 impl ZebramPolicy {
     /// Creates a ZebRAM policy for the given DRAM geometry.
     pub fn new(geometry: &DramGeometry) -> Self {
-        Self { geometry: *geometry }
+        Self {
+            geometry: *geometry,
+        }
     }
 
     /// True when the frame lies in a usable (even) row.
     pub fn frame_is_usable(&self, frame: u64) -> bool {
-        row_of_frame(&self.geometry, frame) % 2 == 0
+        row_of_frame(&self.geometry, frame).is_multiple_of(2)
     }
 }
 

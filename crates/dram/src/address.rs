@@ -262,7 +262,7 @@ mod tests {
     #[test]
     fn same_bank_is_reflexive() {
         for m in mappings() {
-            let pa = PhysAddr::new(0xbeef_c0 % m.geometry().capacity_bytes());
+            let pa = PhysAddr::new(0x00be_efc0 % m.geometry().capacity_bytes());
             assert!(m.same_bank(pa, pa));
         }
     }

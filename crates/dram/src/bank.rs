@@ -134,7 +134,11 @@ impl Bank {
                 let d = self.disturbance.entry(victim).or_insert(0);
                 *d += 1;
                 let disturbance = *d;
-                for (idx, cell) in flip_model.weak_cells(self.unit_id, victim).iter().enumerate() {
+                for (idx, cell) in flip_model
+                    .weak_cells(self.unit_id, victim)
+                    .iter()
+                    .enumerate()
+                {
                     if disturbance >= cell.threshold && self.emitted.insert((victim, idx as u32)) {
                         flips.push((victim, *cell, disturbance));
                     }
@@ -201,7 +205,14 @@ mod tests {
         let mut now = Cycles::ZERO;
         for _ in 0..1000 {
             for row in [aggr_low, aggr_high] {
-                let res = bank.access(row, now, &timings(), RowBufferPolicy::OpenPage, &model, &trr);
+                let res = bank.access(
+                    row,
+                    now,
+                    &timings(),
+                    RowBufferPolicy::OpenPage,
+                    &model,
+                    &trr,
+                );
                 flips.extend(res.flips);
                 now += Cycles::new(300);
             }
@@ -283,7 +294,14 @@ mod tests {
         let mut bank = Bank::new(0, 1024);
         let trr = TrrConfig::disabled();
         let t = timings();
-        bank.access(7, Cycles::new(0), &t, RowBufferPolicy::OpenPage, &model, &trr);
+        bank.access(
+            7,
+            Cycles::new(0),
+            &t,
+            RowBufferPolicy::OpenPage,
+            &model,
+            &trr,
+        );
         let before = bank.activations_of(7);
         // Repeated access to the same open row: row-buffer hits, no new activations.
         for i in 1..100u64 {
@@ -340,6 +358,9 @@ mod tests {
             }
         }
         let cells_in_victim = model.weak_cells(0, victim).len();
-        assert!(victim_flips <= cells_in_victim, "each cell fires at most once per window");
+        assert!(
+            victim_flips <= cells_in_victim,
+            "each cell fires at most once per window"
+        );
     }
 }

@@ -245,7 +245,7 @@ mod tests {
 
         // Hammer the two neighbours of the victim row (double-sided) using
         // physical addresses reconstructed through the mapping.
-        let mapping = dram.mapping().clone();
+        let mapping = *dram.mapping();
         let low = mapping.to_phys(DramAddress {
             row: victim - 1,
             ..base_loc
@@ -298,9 +298,6 @@ mod tests {
     fn full_size_module_constructs() {
         let dram = DramModule::new(DramConfig::ddr3_8gib(FlipModelProfile::paper(), 1));
         assert_eq!(dram.config().geometry.capacity_bytes(), 8 << 30);
-        assert_eq!(
-            dram.config().geometry.total_banks() as usize,
-            32usize
-        );
+        assert_eq!(dram.config().geometry.total_banks() as usize, 32usize);
     }
 }

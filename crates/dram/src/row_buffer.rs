@@ -25,9 +25,10 @@ impl RowBufferOutcome {
 }
 
 /// Row-buffer management policy of the memory controller.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum RowBufferPolicy {
     /// Keep the row open until a conflicting access closes it (open-page).
+    #[default]
     OpenPage,
     /// Close the row if the bank has been idle for the given number of
     /// cycles. This models the "sophisticated" preemptive-close behaviour
@@ -36,12 +37,6 @@ pub enum RowBufferPolicy {
         /// Idle cycles after which the open row is preemptively closed.
         idle_close_cycles: u64,
     },
-}
-
-impl Default for RowBufferPolicy {
-    fn default() -> Self {
-        RowBufferPolicy::OpenPage
-    }
 }
 
 /// Row-buffer state of a single bank.

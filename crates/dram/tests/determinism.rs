@@ -1,0 +1,74 @@
+//! Determinism contract of the DRAM substrate: identical seeds must produce
+//! identical weak cells and identical flip sequences, with and without TRR.
+//! The campaign harness's golden-snapshot tier is built on this property.
+
+use pthammer_dram::{DramConfig, DramModule, FlipEvent, FlipModel, FlipModelProfile, TrrConfig};
+use pthammer_types::{Cycles, PhysAddr};
+
+/// Hammers two aggressor rows in one bank and returns every emitted flip in
+/// order.
+fn hammer_flip_sequence(seed: u64, trr: TrrConfig, iterations: u64) -> Vec<FlipEvent> {
+    let mut config = DramConfig::ddr3_8gib(FlipModelProfile::ci(), seed);
+    config.trr = trr;
+    let row_span = config.geometry.row_span_bytes();
+    let mut dram = DramModule::new(config);
+    let mut flips = Vec::new();
+    let mut now = 0u64;
+    for _ in 0..iterations {
+        for aggressor in [10 * row_span, 12 * row_span] {
+            now += 100;
+            let out = dram.access(PhysAddr::new(aggressor), Cycles::new(now));
+            flips.extend(out.flips);
+        }
+    }
+    flips
+}
+
+#[test]
+fn same_seed_produces_identical_flip_sequences() {
+    let a = hammer_flip_sequence(41, TrrConfig::disabled(), 3_000);
+    let b = hammer_flip_sequence(41, TrrConfig::disabled(), 3_000);
+    assert!(!a.is_empty(), "ci profile must flip within 3000 iterations");
+    assert_eq!(a, b, "flip sequence must be a pure function of the seed");
+}
+
+#[test]
+fn different_seeds_produce_different_weak_cells() {
+    let a = hammer_flip_sequence(41, TrrConfig::disabled(), 3_000);
+    let b = hammer_flip_sequence(42, TrrConfig::disabled(), 3_000);
+    assert_ne!(a, b, "different DRAM seeds should differ somewhere");
+}
+
+#[test]
+fn trr_sampling_is_deterministic_too() {
+    let trr = TrrConfig::enabled(500, 2);
+    let a = hammer_flip_sequence(7, trr, 3_000);
+    let b = hammer_flip_sequence(7, trr, 3_000);
+    assert_eq!(a, b, "TRR sampler decisions must be deterministic");
+    // And TRR must actually change behaviour relative to no TRR.
+    let without = hammer_flip_sequence(7, TrrConfig::disabled(), 3_000);
+    assert!(
+        a.len() <= without.len(),
+        "TRR should never increase the flip count ({} > {})",
+        a.len(),
+        without.len()
+    );
+}
+
+#[test]
+fn flip_model_weak_cells_are_a_pure_function_of_coordinates() {
+    let model_a = FlipModel::new(FlipModelProfile::fast(), 99, 8192);
+    let model_b = FlipModel::new(FlipModelProfile::fast(), 99, 8192);
+    for bank in 0..4u32 {
+        for row in [0u32, 1, 100, 4_095] {
+            assert_eq!(
+                model_a.weak_cells(bank, row),
+                model_b.weak_cells(bank, row),
+                "weak cells for bank {bank} row {row} must match"
+            );
+        }
+    }
+    let model_c = FlipModel::new(FlipModelProfile::fast(), 100, 8192);
+    let diverges = (0..256u32).any(|row| model_a.weak_cells(0, row) != model_c.weak_cells(0, row));
+    assert!(diverges, "distinct seeds must change the weak-cell layout");
+}

@@ -1,0 +1,300 @@
+//! The campaign runner: fan cells out over worker threads, aggregate rows.
+
+use pthammer::{AttackConfig, PtHammer};
+use pthammer_defenses::DefenseChoice;
+use pthammer_kernel::KernelConfig;
+use rayon::prelude::*;
+use rayon::ThreadPoolBuilder;
+use serde::{Deserialize, Serialize};
+
+use crate::matrix::{CellCoord, ScenarioMatrix};
+use crate::report::{CampaignReport, CellReport, REPORT_SCHEMA_VERSION};
+use crate::seeding::cell_seed;
+
+/// Campaign-wide knobs: base seed, parallelism, and the attack scale applied
+/// to every cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignConfig {
+    /// Base seed every cell seed is derived from.
+    pub base_seed: u64,
+    /// Worker threads (0 = one per available core). Thread count never
+    /// affects results, only wall-clock time.
+    pub threads: usize,
+    /// Run the attack in the superpage setting.
+    pub superpages: bool,
+    /// Virtual-address span of the page-table spray per cell.
+    pub spray_bytes: u64,
+    /// Double-sided hammer iterations per attempt.
+    pub hammer_rounds_per_attempt: u64,
+    /// Maximum hammer attempts per cell.
+    pub max_attempts: usize,
+    /// Profiling trials for LLC eviction-set selection.
+    pub llc_profile_trials: usize,
+    /// Candidate pairs verified per attempt batch.
+    pub pair_candidates_per_round: usize,
+    /// Profiling trials for TLB eviction-set selection.
+    pub tlb_profile_trials: usize,
+    /// Maximum observed flips before a cell gives up on escalation.
+    pub max_flips: usize,
+    /// LLC eviction buffer size as a multiple of LLC capacity.
+    pub eviction_buffer_factor: f64,
+    /// `struct cred` spray (sibling processes) for CTA cells, matching the
+    /// paper's Section IV-G bypass.
+    pub cta_cred_spray: usize,
+    /// Attempt cap against ZebRAM (bounded wasted effort; the paper expects
+    /// ZebRAM to stop the attack).
+    pub zebram_attempt_cap: usize,
+    /// Tolerated TLB eviction-set miss-rate drop while trimming
+    /// (Algorithm 1).
+    pub tlb_trim_tolerance: f64,
+}
+
+impl CampaignConfig {
+    /// CI-scale configuration: small sprays and few attempts so a ≥24-cell
+    /// matrix finishes in CI. Pair with [`ScenarioMatrix::ci_default`].
+    pub fn ci(base_seed: u64) -> Self {
+        Self {
+            base_seed,
+            threads: 0,
+            superpages: false,
+            spray_bytes: 640 << 20,
+            hammer_rounds_per_attempt: 1_200,
+            max_attempts: 4,
+            llc_profile_trials: 6,
+            pair_candidates_per_round: 4,
+            tlb_profile_trials: 20,
+            max_flips: 16,
+            eviction_buffer_factor: 2.0,
+            cta_cred_spray: 256,
+            zebram_attempt_cap: 3,
+            tlb_trim_tolerance: 0.05,
+        }
+    }
+
+    /// Scaled configuration matching the bench scenarios' default mode
+    /// (Table I machines with the `fast` profile).
+    pub fn scaled(base_seed: u64) -> Self {
+        Self {
+            base_seed,
+            threads: 0,
+            superpages: false,
+            spray_bytes: 1 << 30,
+            hammer_rounds_per_attempt: 2_500,
+            max_attempts: 12,
+            llc_profile_trials: 6,
+            pair_candidates_per_round: 4,
+            tlb_profile_trials: 20,
+            max_flips: 16,
+            eviction_buffer_factor: 2.0,
+            cta_cred_spray: 2_000,
+            zebram_attempt_cap: 6,
+            tlb_trim_tolerance: 0.05,
+        }
+    }
+
+    /// Full paper-calibrated configuration (substantial host runtime):
+    /// derived field-for-field from [`AttackConfig::paper`] — the single
+    /// source of the paper-scale knobs — plus the paper's 32 000-process
+    /// cred spray for CTA.
+    pub fn full(base_seed: u64) -> Self {
+        let paper = AttackConfig::paper(0, false);
+        Self {
+            base_seed,
+            threads: 0,
+            superpages: false,
+            spray_bytes: paper.spray_bytes,
+            hammer_rounds_per_attempt: paper.hammer_rounds_per_attempt,
+            max_attempts: paper.max_attempts,
+            llc_profile_trials: paper.llc_profile_trials,
+            pair_candidates_per_round: paper.pair_candidates_per_round,
+            tlb_profile_trials: paper.tlb_profile_trials,
+            max_flips: paper.max_flips,
+            eviction_buffer_factor: paper.eviction_buffer_factor,
+            cta_cred_spray: 32_000,
+            zebram_attempt_cap: 6,
+            tlb_trim_tolerance: paper.tlb_trim_tolerance,
+        }
+    }
+
+    /// The attack configuration for one cell.
+    pub fn attack_config(&self, seed: u64, defense: DefenseChoice) -> AttackConfig {
+        let max_attempts = if defense == DefenseChoice::Zebram {
+            self.max_attempts.min(self.zebram_attempt_cap)
+        } else {
+            self.max_attempts
+        };
+        AttackConfig {
+            spray_bytes: self.spray_bytes,
+            hammer_rounds_per_attempt: self.hammer_rounds_per_attempt,
+            max_attempts,
+            llc_profile_trials: self.llc_profile_trials,
+            pair_candidates_per_round: self.pair_candidates_per_round,
+            tlb_profile_trials: self.tlb_profile_trials,
+            max_flips: self.max_flips,
+            eviction_buffer_factor: self.eviction_buffer_factor,
+            tlb_trim_tolerance: self.tlb_trim_tolerance,
+            ..AttackConfig::quick_test(seed, self.superpages)
+        }
+    }
+}
+
+/// Runs a single campaign cell to completion.
+///
+/// The cell is fully self-contained: it boots its own defended system from
+/// the coordinate-derived seed, so calling this directly (e.g. to reproduce
+/// one golden-snapshot row) gives exactly the result the full matrix run
+/// records.
+pub fn run_cell(coord: &CellCoord, config: &CampaignConfig) -> CellReport {
+    let seed = cell_seed(config.base_seed, coord);
+    let mut report = CellReport {
+        machine: coord.machine.name().to_string(),
+        defense: coord.defense.name().to_string(),
+        profile: coord.profile.name().to_string(),
+        repetition: coord.repetition,
+        cell_seed: seed,
+        escalated: false,
+        attempts: 0,
+        flips_observed: 0,
+        exploitable_flips: 0,
+        implicit_dram_rate: 0.0,
+        seconds_to_first_flip: None,
+        seconds_to_escalation: None,
+        route: None,
+        error: None,
+    };
+
+    let machine_cfg = coord.machine.config(coord.profile.profile(), seed);
+    let kernel_cfg = if config.superpages {
+        KernelConfig::with_superpages()
+    } else {
+        KernelConfig::default_config()
+    };
+    let mut sys = coord.defense.build_system(machine_cfg, kernel_cfg);
+
+    let outcome = (|| {
+        let pid = sys.spawn_process(1000).map_err(|e| e.to_string())?;
+        if coord.defense == DefenseChoice::Cta && config.cta_cred_spray > 0 {
+            // Spray struct cred objects via sibling processes (the paper's
+            // CTA bypass); slab density in kernel memory is what matters.
+            sys.spawn_processes(config.cta_cred_spray, 1000)
+                .map_err(|e| e.to_string())?;
+        }
+        let attack =
+            PtHammer::new(config.attack_config(seed, coord.defense)).map_err(|e| e.to_string())?;
+        attack.run(&mut sys, pid).map_err(|e| e.to_string())
+    })();
+
+    match outcome {
+        Ok(outcome) => {
+            report.escalated = outcome.escalated;
+            report.attempts = outcome.attempts;
+            report.flips_observed = outcome.flips_observed;
+            report.exploitable_flips = outcome.exploitable_flips;
+            report.implicit_dram_rate = outcome.implicit_dram_rate;
+            report.seconds_to_first_flip = outcome.seconds_to_first_flip();
+            report.seconds_to_escalation = outcome.seconds_to_escalation();
+            report.route = outcome.route.map(|r| format!("{r:?}"));
+        }
+        Err(err) => report.error = Some(err),
+    }
+    report
+}
+
+/// Runs every cell of `matrix` on a worker pool and aggregates the results.
+///
+/// Cells are independent and seeded from their coordinates, and rows are
+/// collected in canonical matrix order, so the returned report — and its
+/// [`canonical JSON`](CampaignReport::to_canonical_json) — is identical for
+/// any `config.threads`.
+///
+/// # Panics
+///
+/// Panics if the matrix fails [`ScenarioMatrix::validate`].
+pub fn run_campaign(matrix: &ScenarioMatrix, config: &CampaignConfig) -> CampaignReport {
+    matrix
+        .validate()
+        .unwrap_or_else(|e| panic!("invalid scenario matrix: {e}"));
+    let cells = matrix.cells();
+    let pool = ThreadPoolBuilder::new()
+        .num_threads(config.threads)
+        .build()
+        .expect("worker pool");
+    let rows: Vec<CellReport> = pool.install(|| {
+        cells
+            .into_par_iter()
+            .map(|coord| run_cell(&coord, config))
+            .collect()
+    });
+    let summaries = CampaignReport::summarize(matrix, &rows);
+    CampaignReport {
+        schema_version: REPORT_SCHEMA_VERSION,
+        base_seed: config.base_seed,
+        matrix: matrix.clone(),
+        superpages: config.superpages,
+        cells: rows,
+        summaries,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::ProfileChoice;
+    use pthammer_machine::MachineChoice;
+
+    #[test]
+    fn attack_config_caps_zebram_attempts() {
+        let config = CampaignConfig::ci(1);
+        let zebram = config.attack_config(9, DefenseChoice::Zebram);
+        let none = config.attack_config(9, DefenseChoice::None);
+        assert!(zebram.max_attempts <= config.zebram_attempt_cap);
+        assert_eq!(none.max_attempts, config.max_attempts);
+        assert!(zebram.validate().is_ok());
+        assert!(none.validate().is_ok());
+    }
+
+    #[test]
+    fn single_cell_runs_and_reports_coordinates() {
+        let config = CampaignConfig::ci(11);
+        let coord = CellCoord {
+            machine: MachineChoice::TestSmall,
+            defense: DefenseChoice::None,
+            profile: ProfileChoice::Invulnerable,
+            repetition: 0,
+        };
+        let row = run_cell(&coord, &config);
+        assert_eq!(row.machine, "Test Small");
+        assert_eq!(row.defense, "undefended");
+        assert_eq!(row.profile, "invulnerable");
+        assert_eq!(row.flips_observed, 0, "invulnerable DRAM cannot flip");
+        assert!(!row.escalated);
+        assert!(row.error.is_none(), "{:?}", row.error);
+        assert_eq!(row.cell_seed, cell_seed(11, &coord));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid scenario matrix")]
+    fn empty_matrix_panics() {
+        let matrix = ScenarioMatrix::new(vec![], vec![], vec![], 0);
+        let _ = run_campaign(&matrix, &CampaignConfig::ci(1));
+    }
+
+    #[test]
+    fn two_and_eight_worker_threads_emit_identical_json() {
+        // Small matrix (4 invulnerable cells) so this stays cheap; the full
+        // 30-cell check lives in tests/campaign_matrix.rs.
+        let matrix = ScenarioMatrix::new(
+            vec![MachineChoice::TestSmall],
+            vec![DefenseChoice::None, DefenseChoice::Zebram],
+            vec![ProfileChoice::Invulnerable],
+            2,
+        );
+        let mut config = CampaignConfig::ci(77);
+        config.max_attempts = 2;
+        config.threads = 2;
+        let two = run_campaign(&matrix, &config).to_canonical_json();
+        config.threads = 8;
+        let eight = run_campaign(&matrix, &config).to_canonical_json();
+        assert_eq!(two, eight, "thread count leaked into campaign JSON");
+    }
+}

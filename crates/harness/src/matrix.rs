@@ -1,0 +1,209 @@
+//! The declarative scenario matrix: which cells a campaign runs.
+
+use pthammer_defenses::DefenseChoice;
+use pthammer_dram::FlipModelProfile;
+use pthammer_machine::MachineChoice;
+use serde::{Deserialize, Serialize};
+
+/// Named weak-cell profile, the third axis of the matrix.
+///
+/// [`FlipModelProfile`] itself is a bag of numbers; campaigns select one of
+/// the named presets so reports stay self-describing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ProfileChoice {
+    /// Paper-calibrated thresholds (minutes of simulated time to a flip).
+    Paper,
+    /// Fast profile for examples and scaled sweeps.
+    Fast,
+    /// CI profile: very weak cells, flips within a few hundred activations.
+    Ci,
+    /// Rowhammer-free DRAM (control group).
+    Invulnerable,
+}
+
+impl ProfileChoice {
+    /// All named profiles.
+    pub fn all() -> Vec<ProfileChoice> {
+        vec![
+            ProfileChoice::Paper,
+            ProfileChoice::Fast,
+            ProfileChoice::Ci,
+            ProfileChoice::Invulnerable,
+        ]
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ProfileChoice::Paper => "paper",
+            ProfileChoice::Fast => "fast",
+            ProfileChoice::Ci => "ci",
+            ProfileChoice::Invulnerable => "invulnerable",
+        }
+    }
+
+    /// The concrete weak-cell profile.
+    pub fn profile(&self) -> FlipModelProfile {
+        match self {
+            ProfileChoice::Paper => FlipModelProfile::paper(),
+            ProfileChoice::Fast => FlipModelProfile::fast(),
+            ProfileChoice::Ci => FlipModelProfile::ci(),
+            ProfileChoice::Invulnerable => FlipModelProfile::invulnerable(),
+        }
+    }
+}
+
+/// Coordinates of one campaign cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CellCoord {
+    /// Machine model under attack.
+    pub machine: MachineChoice,
+    /// Active defense.
+    pub defense: DefenseChoice,
+    /// Weak-cell profile of the DRAM.
+    pub profile: ProfileChoice,
+    /// Repetition index (varies only the seed).
+    pub repetition: u32,
+}
+
+/// Declarative cross product of campaign axes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioMatrix {
+    /// Machines axis.
+    pub machines: Vec<MachineChoice>,
+    /// Defenses axis.
+    pub defenses: Vec<DefenseChoice>,
+    /// Profiles axis.
+    pub profiles: Vec<ProfileChoice>,
+    /// Seed repetitions per (machine, defense, profile) combination.
+    pub repetitions: u32,
+}
+
+impl ScenarioMatrix {
+    /// Builds a matrix from explicit axes.
+    pub fn new(
+        machines: Vec<MachineChoice>,
+        defenses: Vec<DefenseChoice>,
+        profiles: Vec<ProfileChoice>,
+        repetitions: u32,
+    ) -> Self {
+        Self {
+            machines,
+            defenses,
+            profiles,
+            repetitions,
+        }
+    }
+
+    /// The CI-scale regression matrix pinned by the golden snapshots: the
+    /// small test machine, every defense, the `ci` and `invulnerable`
+    /// profiles, three repetitions — 5 × 2 × 3 = 30 cells.
+    pub fn ci_default() -> Self {
+        Self::new(
+            vec![MachineChoice::TestSmall],
+            DefenseChoice::all(),
+            vec![ProfileChoice::Ci, ProfileChoice::Invulnerable],
+            3,
+        )
+    }
+
+    /// Number of cells in the matrix.
+    pub fn len(&self) -> usize {
+        self.machines.len() * self.defenses.len() * self.profiles.len() * self.repetitions as usize
+    }
+
+    /// Whether the matrix is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Materializes the cells in canonical (machine-major) order. Cell order
+    /// determines report row order — and nothing else; per-cell seeds hash
+    /// coordinates, not positions.
+    pub fn cells(&self) -> Vec<CellCoord> {
+        let mut cells = Vec::with_capacity(self.len());
+        for &machine in &self.machines {
+            for &defense in &self.defenses {
+                for &profile in &self.profiles {
+                    for repetition in 0..self.repetitions {
+                        cells.push(CellCoord {
+                            machine,
+                            defense,
+                            profile,
+                            repetition,
+                        });
+                    }
+                }
+            }
+        }
+        cells
+    }
+
+    /// Validates the matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the problem if any axis is empty.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.machines.is_empty() {
+            return Err("matrix has no machines".to_string());
+        }
+        if self.defenses.is_empty() {
+            return Err("matrix has no defenses".to_string());
+        }
+        if self.profiles.is_empty() {
+            return Err("matrix has no profiles".to_string());
+        }
+        if self.repetitions == 0 {
+            return Err("matrix has zero repetitions".to_string());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ci_default_has_at_least_24_cells() {
+        let m = ScenarioMatrix::ci_default();
+        assert!(m.len() >= 24, "CI matrix too small: {}", m.len());
+        assert_eq!(m.cells().len(), m.len());
+        assert!(m.validate().is_ok());
+    }
+
+    #[test]
+    fn cells_are_in_canonical_order_and_unique() {
+        let m = ScenarioMatrix::ci_default();
+        let cells = m.cells();
+        let mut seen = std::collections::HashSet::new();
+        for c in &cells {
+            assert!(seen.insert(format!("{c:?}")), "duplicate cell {c:?}");
+        }
+        // First block: first machine, first defense, first profile.
+        assert_eq!(cells[0].machine, m.machines[0]);
+        assert_eq!(cells[0].defense, m.defenses[0]);
+        assert_eq!(cells[0].repetition, 0);
+    }
+
+    #[test]
+    fn empty_axes_are_rejected() {
+        let mut m = ScenarioMatrix::ci_default();
+        m.defenses.clear();
+        assert!(m.validate().is_err());
+        assert!(m.is_empty());
+        let mut m = ScenarioMatrix::ci_default();
+        m.repetitions = 0;
+        assert!(m.validate().is_err());
+    }
+
+    #[test]
+    fn profile_names_round_trip() {
+        for p in ProfileChoice::all() {
+            assert!(!p.name().is_empty());
+            let _ = p.profile();
+        }
+        assert_eq!(ProfileChoice::Ci.name(), "ci");
+    }
+}

@@ -1,0 +1,309 @@
+//! Campaign results: per-cell rows, per-defense summaries, canonical JSON.
+
+use serde::{Deserialize, Serialize};
+
+use crate::matrix::ScenarioMatrix;
+
+/// Version stamp of the report schema; bump when the JSON layout changes so
+/// golden snapshots fail loudly instead of mysteriously.
+pub const REPORT_SCHEMA_VERSION: u32 = 1;
+
+/// Outcome of one campaign cell (one attack run).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellReport {
+    /// Machine name (coordinate).
+    pub machine: String,
+    /// Defense name (coordinate).
+    pub defense: String,
+    /// Weak-cell profile name (coordinate).
+    pub profile: String,
+    /// Repetition index (coordinate).
+    pub repetition: u32,
+    /// The seed derived from the coordinates (for reproducing this cell in
+    /// isolation).
+    pub cell_seed: u64,
+    /// Whether kernel privilege escalation succeeded.
+    pub escalated: bool,
+    /// Hammer attempts performed.
+    pub attempts: usize,
+    /// Bit flips observed (including unexploitable ones).
+    pub flips_observed: usize,
+    /// Exploitable flips (captured an L1PT or cred page).
+    pub exploitable_flips: usize,
+    /// Fraction of hammer iterations whose L1PTE loads reached DRAM.
+    pub implicit_dram_rate: f64,
+    /// Simulated seconds until the first flip, if one occurred.
+    pub seconds_to_first_flip: Option<f64>,
+    /// Simulated seconds until escalation, if it happened.
+    pub seconds_to_escalation: Option<f64>,
+    /// Escalation route (`Debug` form), if escalation succeeded.
+    pub route: Option<String>,
+    /// Error description if the attack aborted instead of completing.
+    pub error: Option<String>,
+}
+
+/// Aggregates over all cells sharing one (defense, profile) combination.
+///
+/// Summaries are split by weak-cell profile so control groups (e.g. the
+/// `invulnerable` profile) can never dilute a defense's headline escalation
+/// rate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DefenseSummary {
+    /// Defense name.
+    pub defense: String,
+    /// Weak-cell profile name the cells ran with.
+    pub profile: String,
+    /// Number of cells aggregated (including errored ones).
+    pub cells: usize,
+    /// Cells that aborted with an error; excluded from every rate and mean
+    /// below so environmental failures never masquerade as defense wins.
+    pub errored_cells: usize,
+    /// Completed cells where escalation succeeded.
+    pub escalations: usize,
+    /// Escalation rate over the defense's completed cells.
+    pub escalation_rate: f64,
+    /// Completed cells that observed at least one flip.
+    pub flip_cells: usize,
+    /// Mean observed flips per completed cell.
+    pub mean_flips: f64,
+    /// Mean exploitable flips per completed cell.
+    pub mean_exploitable_flips: f64,
+    /// Mean implicit DRAM rate over completed cells.
+    pub mean_implicit_dram_rate: f64,
+    /// Mean simulated seconds to first flip over cells that flipped.
+    pub mean_seconds_to_first_flip: Option<f64>,
+    /// Escalation-rate delta against the undefended baseline on the same
+    /// profile (`None` when the campaign has no undefended cells for it).
+    pub escalation_rate_delta_vs_undefended: Option<f64>,
+}
+
+/// Complete campaign result: inputs, per-cell rows, per-defense summaries.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignReport {
+    /// Schema version of this report.
+    pub schema_version: u32,
+    /// Campaign base seed.
+    pub base_seed: u64,
+    /// The matrix that was run.
+    pub matrix: ScenarioMatrix,
+    /// Whether the attack ran in the superpage setting.
+    pub superpages: bool,
+    /// One row per cell, in canonical matrix order.
+    pub cells: Vec<CellReport>,
+    /// One summary per (defense, profile) combination, in matrix axis order.
+    pub summaries: Vec<DefenseSummary>,
+}
+
+impl CampaignReport {
+    /// Renders the report as canonical pretty JSON (stable field order, fixed
+    /// float formatting, `\n` line endings, trailing newline). Byte-stable
+    /// across thread counts and platforms for identical campaigns.
+    pub fn to_canonical_json(&self) -> String {
+        let mut json = serde_json::to_string_pretty(self).expect("report serializes");
+        json.push('\n');
+        json
+    }
+
+    /// Builds one summary per (defense, profile) axis combination,
+    /// aggregating cells in row order. Errored cells are counted in
+    /// [`DefenseSummary::errored_cells`] and excluded from every rate and
+    /// mean. Exposed for the campaign runner and tests.
+    pub fn summarize(matrix: &ScenarioMatrix, cells: &[CellReport]) -> Vec<DefenseSummary> {
+        let undefended = pthammer_defenses::DefenseChoice::None.name();
+        let mut summaries = Vec::new();
+        for d in &matrix.defenses {
+            for p in &matrix.profiles {
+                let rows: Vec<&CellReport> = cells
+                    .iter()
+                    .filter(|c| c.defense == d.name() && c.profile == p.name())
+                    .collect();
+                let completed: Vec<&CellReport> =
+                    rows.iter().filter(|c| c.error.is_none()).copied().collect();
+                let n = completed.len();
+                let escalations = completed.iter().filter(|c| c.escalated).count();
+                let flip_cells = completed.iter().filter(|c| c.flips_observed > 0).count();
+                let escalation_rate = if n == 0 {
+                    0.0
+                } else {
+                    escalations as f64 / n as f64
+                };
+                let mean = |f: &dyn Fn(&CellReport) -> f64| {
+                    if n == 0 {
+                        0.0
+                    } else {
+                        completed.iter().map(|c| f(c)).sum::<f64>() / n as f64
+                    }
+                };
+                let first_flip: Vec<f64> = completed
+                    .iter()
+                    .filter_map(|c| c.seconds_to_first_flip)
+                    .collect();
+                let baseline_rate = {
+                    let base: Vec<&CellReport> = cells
+                        .iter()
+                        .filter(|c| {
+                            c.defense == undefended && c.profile == p.name() && c.error.is_none()
+                        })
+                        .collect();
+                    if base.is_empty() {
+                        None
+                    } else {
+                        Some(base.iter().filter(|c| c.escalated).count() as f64 / base.len() as f64)
+                    }
+                };
+                summaries.push(DefenseSummary {
+                    defense: d.name().to_string(),
+                    profile: p.name().to_string(),
+                    cells: rows.len(),
+                    errored_cells: rows.len() - n,
+                    escalations,
+                    escalation_rate,
+                    flip_cells,
+                    mean_flips: mean(&|c| c.flips_observed as f64),
+                    mean_exploitable_flips: mean(&|c| c.exploitable_flips as f64),
+                    mean_implicit_dram_rate: mean(&|c| c.implicit_dram_rate),
+                    mean_seconds_to_first_flip: if first_flip.is_empty() {
+                        None
+                    } else {
+                        Some(first_flip.iter().sum::<f64>() / first_flip.len() as f64)
+                    },
+                    escalation_rate_delta_vs_undefended: baseline_rate
+                        .map(|base| escalation_rate - base),
+                });
+            }
+        }
+        summaries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::{ProfileChoice, ScenarioMatrix};
+    use pthammer_defenses::DefenseChoice;
+    use pthammer_machine::MachineChoice;
+
+    fn cell(defense: DefenseChoice, escalated: bool, flips: usize) -> CellReport {
+        CellReport {
+            machine: "Test Small".into(),
+            defense: defense.name().into(),
+            profile: "ci".into(),
+            repetition: 0,
+            cell_seed: 1,
+            escalated,
+            attempts: 2,
+            flips_observed: flips,
+            exploitable_flips: usize::from(escalated),
+            implicit_dram_rate: 0.9,
+            seconds_to_first_flip: if flips > 0 { Some(1.5) } else { None },
+            seconds_to_escalation: None,
+            route: None,
+            error: None,
+        }
+    }
+
+    fn matrix() -> ScenarioMatrix {
+        ScenarioMatrix::new(
+            vec![MachineChoice::TestSmall],
+            vec![DefenseChoice::None, DefenseChoice::Zebram],
+            vec![ProfileChoice::Ci],
+            2,
+        )
+    }
+
+    #[test]
+    fn summaries_aggregate_per_defense() {
+        let cells = vec![
+            cell(DefenseChoice::None, true, 3),
+            cell(DefenseChoice::None, true, 1),
+            cell(DefenseChoice::Zebram, false, 2),
+            cell(DefenseChoice::Zebram, false, 0),
+        ];
+        let summaries = CampaignReport::summarize(&matrix(), &cells);
+        assert_eq!(summaries.len(), 2);
+        let none = &summaries[0];
+        assert_eq!(none.defense, "undefended");
+        assert_eq!(none.profile, "ci");
+        assert_eq!(none.escalations, 2);
+        assert!((none.escalation_rate - 1.0).abs() < 1e-12);
+        assert!((none.mean_flips - 2.0).abs() < 1e-12);
+        assert_eq!(none.escalation_rate_delta_vs_undefended, Some(0.0));
+        let zebram = &summaries[1];
+        assert_eq!(zebram.escalations, 0);
+        assert_eq!(zebram.flip_cells, 1);
+        assert_eq!(zebram.escalation_rate_delta_vs_undefended, Some(-1.0));
+    }
+
+    #[test]
+    fn control_profiles_do_not_dilute_vulnerable_rates() {
+        // Same defense on two profiles: the ci cells escalate, the
+        // invulnerable control cells cannot. Per-profile summaries must keep
+        // the ci escalation rate at 1.0 instead of averaging it down to 0.5.
+        let m = ScenarioMatrix::new(
+            vec![MachineChoice::TestSmall],
+            vec![DefenseChoice::None],
+            vec![ProfileChoice::Ci, ProfileChoice::Invulnerable],
+            1,
+        );
+        let mut control = cell(DefenseChoice::None, false, 0);
+        control.profile = "invulnerable".into();
+        let cells = vec![cell(DefenseChoice::None, true, 2), control];
+        let summaries = CampaignReport::summarize(&m, &cells);
+        assert_eq!(summaries.len(), 2);
+        assert_eq!(summaries[0].profile, "ci");
+        assert!((summaries[0].escalation_rate - 1.0).abs() < 1e-12);
+        assert_eq!(summaries[1].profile, "invulnerable");
+        assert!((summaries[1].escalation_rate - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn errored_cells_do_not_drag_down_implicit_rate() {
+        let m = ScenarioMatrix::new(
+            vec![MachineChoice::TestSmall],
+            vec![DefenseChoice::None],
+            vec![ProfileChoice::Ci],
+            2,
+        );
+        let mut errored = cell(DefenseChoice::None, false, 0);
+        errored.error = Some("aborted".into());
+        errored.implicit_dram_rate = 0.0;
+        let cells = vec![cell(DefenseChoice::None, false, 1), errored];
+        let summaries = CampaignReport::summarize(&m, &cells);
+        assert!((summaries[0].mean_implicit_dram_rate - 0.9).abs() < 1e-12);
+        assert!((summaries[0].mean_flips - 1.0).abs() < 1e-12);
+        assert_eq!(summaries[0].cells, 2);
+        assert_eq!(summaries[0].errored_cells, 1);
+    }
+
+    #[test]
+    fn delta_absent_without_undefended_baseline() {
+        let m = ScenarioMatrix::new(
+            vec![MachineChoice::TestSmall],
+            vec![DefenseChoice::Zebram],
+            vec![ProfileChoice::Ci],
+            1,
+        );
+        let cells = vec![cell(DefenseChoice::Zebram, false, 0)];
+        let summaries = CampaignReport::summarize(&m, &cells);
+        assert_eq!(summaries[0].escalation_rate_delta_vs_undefended, None);
+        assert_eq!(summaries[0].mean_seconds_to_first_flip, None);
+    }
+
+    #[test]
+    fn canonical_json_is_stable_and_newline_terminated() {
+        let report = CampaignReport {
+            schema_version: REPORT_SCHEMA_VERSION,
+            base_seed: 7,
+            matrix: matrix(),
+            superpages: false,
+            cells: vec![cell(DefenseChoice::None, true, 1)],
+            summaries: vec![],
+        };
+        let a = report.to_canonical_json();
+        let b = report.to_canonical_json();
+        assert_eq!(a, b);
+        assert!(a.ends_with('\n'));
+        assert!(a.contains("\"schema_version\": 1"));
+        assert!(a.contains("\"undefended\""));
+    }
+}

@@ -56,7 +56,7 @@ impl BuddyAllocator {
             let mut order = MAX_ORDER;
             loop {
                 let size = 1u64 << order;
-                if frame % size == 0 && frame + size <= end_frame {
+                if frame.is_multiple_of(size) && frame + size <= end_frame {
                     break;
                 }
                 order -= 1;
@@ -102,7 +102,11 @@ impl BuddyAllocator {
                 list.iter().next().copied()
             };
             if let Some(start) = candidate {
-                let key = if from_top { start + (1u64 << o) - 1 } else { start };
+                let key = if from_top {
+                    start + (1u64 << o) - 1
+                } else {
+                    start
+                };
                 let better = match found {
                     None => true,
                     Some((_, _, best_key)) => {

@@ -41,13 +41,20 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert_eq!(KernelError::OutOfMemory.to_string(), "out of physical memory");
+        assert_eq!(
+            KernelError::OutOfMemory.to_string(),
+            "out of physical memory"
+        );
         assert!(KernelError::NoSuchProcess(7).to_string().contains('7'));
         assert!(KernelError::BadAddress(VirtAddr::new(0x123))
             .to_string()
             .contains("bad address"));
-        assert!(KernelError::SuperpagesDisabled.to_string().contains("superpages"));
-        assert!(KernelError::InvalidArgument("x".into()).to_string().contains('x'));
+        assert!(KernelError::SuperpagesDisabled
+            .to_string()
+            .contains("superpages"));
+        assert!(KernelError::InvalidArgument("x".into())
+            .to_string()
+            .contains('x'));
     }
 
     #[test]

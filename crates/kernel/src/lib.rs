@@ -41,7 +41,7 @@ mod system;
 mod vma;
 
 pub use buddy::{BuddyAllocator, MAX_ORDER};
-pub use cred::{Cred, CredSlot, CRED_MAGIC, CREDS_PER_FRAME, CRED_SIZE};
+pub use cred::{Cred, CredSlot, CREDS_PER_FRAME, CRED_MAGIC, CRED_SIZE};
 pub use error::KernelError;
 pub use policy::{DefaultPolicy, FramePurpose, PlacementPolicy};
 pub use process::{Pid, Process};

@@ -10,11 +10,13 @@ use std::collections::BTreeMap;
 
 use pthammer_machine::{Machine, MachineConfig, VirtualAccess};
 use pthammer_mmu::{Pte, PteFlags};
-use pthammer_types::{Cycles, PageSize, PhysAddr, VirtAddr, HUGE_PAGE_SIZE, PAGE_SIZE, PTES_PER_TABLE};
+use pthammer_types::{
+    Cycles, PageSize, PhysAddr, VirtAddr, HUGE_PAGE_SIZE, PAGE_SIZE, PTES_PER_TABLE,
+};
 
 use crate::{
     buddy::BuddyAllocator,
-    cred::{Cred, CRED_SIZE, CREDS_PER_FRAME},
+    cred::{Cred, CREDS_PER_FRAME, CRED_SIZE},
     error::KernelError,
     policy::{DefaultPolicy, FramePurpose, PlacementPolicy},
     process::{Pid, Process},
@@ -254,9 +256,8 @@ impl System {
         let bytes = self
             .machine
             .phys_read_bytes(proc.cred_paddr, CRED_SIZE as usize);
-        let cred = Cred::from_bytes(&bytes).ok_or_else(|| {
-            KernelError::InvalidArgument(format!("corrupted cred for pid {pid}"))
-        })?;
+        let cred = Cred::from_bytes(&bytes)
+            .ok_or_else(|| KernelError::InvalidArgument(format!("corrupted cred for pid {pid}")))?;
         Ok(cred.euid)
     }
 
@@ -296,7 +297,8 @@ impl System {
                 })?;
                 self.machine.phys_write_frame_uniform(frame, 0);
                 let base = PhysAddr::from_frame(frame, 0);
-                self.machine.phys_write_u64(entry_paddr, Pte::table(base).raw());
+                self.machine
+                    .phys_write_u64(entry_paddr, Pte::table(base).raw());
                 if child_level == 1 {
                     new_l1pts.push(frame);
                 }
@@ -354,7 +356,7 @@ impl System {
         length: u64,
         options: MmapOptions,
     ) -> Result<VirtAddr, KernelError> {
-        if length == 0 || length % options.page_size.bytes() != 0 {
+        if length == 0 || !length.is_multiple_of(options.page_size.bytes()) {
             return Err(KernelError::InvalidArgument(format!(
                 "length {length} is not a positive multiple of the page size"
             )));
@@ -404,9 +406,7 @@ impl System {
             .processes
             .get(&pid)
             .ok_or(KernelError::NoSuchProcess(pid))?;
-        let vma = proc
-            .find_vma(vaddr)
-            .ok_or(KernelError::BadAddress(vaddr))?;
+        let vma = proc.find_vma(vaddr).ok_or(KernelError::BadAddress(vaddr))?;
         let mut frames = Vec::new();
         for page in 0..vma.page_count() {
             let va = vma.start + page * vma.page_size.bytes();
@@ -430,12 +430,14 @@ impl System {
                 .processes
                 .get(&pid)
                 .ok_or(KernelError::NoSuchProcess(pid))?;
-            let vma = proc
-                .find_vma(start)
-                .ok_or(KernelError::BadAddress(start))?;
+            let vma = proc.find_vma(start).ok_or(KernelError::BadAddress(start))?;
             (vma.page_size, vma.backing.clone(), vma.start, vma.length)
         };
-        let end = VirtAddr::new((start + length).as_u64().min((vma_start + vma_len).as_u64()));
+        let end = VirtAddr::new(
+            (start + length)
+                .as_u64()
+                .min((vma_start + vma_len).as_u64()),
+        );
 
         // Fast path: a 4 KiB area backed by a single shared frame fills whole
         // Level-1 page tables with identical entries; build each fully-covered
@@ -445,7 +447,8 @@ impl System {
             if let VmaBacking::SharedFrames { frames } = &backing {
                 if frames.len() == 1 {
                     let shared = frames[0];
-                    let leaf = Pte::page(PhysAddr::from_frame(shared, 0), PteFlags::user_rw()).raw();
+                    let leaf =
+                        Pte::page(PhysAddr::from_frame(shared, 0), PteFlags::user_rw()).raw();
                     let mut va = start.as_u64();
                     while va < end.as_u64() {
                         let chunk_base = va & !(HUGE_PAGE_SIZE - 1);
@@ -509,9 +512,7 @@ impl System {
                 .processes
                 .get(&pid)
                 .ok_or(KernelError::NoSuchProcess(pid))?;
-            let vma = proc
-                .find_vma(vaddr)
-                .ok_or(KernelError::BadAddress(vaddr))?;
+            let vma = proc.find_vma(vaddr).ok_or(KernelError::BadAddress(vaddr))?;
             (vma.page_size, vma.backing.clone(), vma.start)
         };
         match page_size {
@@ -545,7 +546,7 @@ impl System {
                     .buddy
                     .alloc_order(9, false)
                     .ok_or(KernelError::OutOfMemory)?;
-                self.stats.user_frames += u64::from(PTES_PER_TABLE);
+                self.stats.user_frames += PTES_PER_TABLE;
                 for f in base_frame..base_frame + PTES_PER_TABLE {
                     self.machine.phys_write_frame_uniform(f, fill);
                 }
@@ -596,7 +597,12 @@ impl System {
     // User-level memory operations (with demand paging).
     // ------------------------------------------------------------------
 
-    fn with_fault_retry<F>(&mut self, pid: Pid, vaddr: VirtAddr, mut op: F) -> Result<VirtualAccess, KernelError>
+    fn with_fault_retry<F>(
+        &mut self,
+        pid: Pid,
+        vaddr: VirtAddr,
+        mut op: F,
+    ) -> Result<VirtualAccess, KernelError>
     where
         F: FnMut(&mut Machine, PhysAddr) -> VirtualAccess,
     {
@@ -635,11 +641,7 @@ impl System {
 
     /// Accesses a sequence of addresses back-to-back (pipelined), handling
     /// any demand-paging faults along the way. Returns the total latency.
-    pub fn access_batch(
-        &mut self,
-        pid: Pid,
-        vaddrs: &[VirtAddr],
-    ) -> Result<Cycles, KernelError> {
+    pub fn access_batch(&mut self, pid: Pid, vaddrs: &[VirtAddr]) -> Result<Cycles, KernelError> {
         let cr3 = self.cr3_of(pid)?;
         let (mut total, faults) = self.machine.access_batch(cr3, vaddrs);
         for fault in faults {
@@ -698,7 +700,10 @@ mod tests {
     use pthammer_types::MemoryLevel;
 
     fn system() -> System {
-        System::undefended(MachineConfig::test_small(FlipModelProfile::invulnerable(), 3))
+        System::undefended(MachineConfig::test_small(
+            FlipModelProfile::invulnerable(),
+            3,
+        ))
     }
 
     #[test]
@@ -801,7 +806,9 @@ mod tests {
                 PAGE_SIZE,
                 MmapOptions {
                     populate: true,
-                    backing: VmaBacking::Anonymous { fill_pattern: 0x5050 },
+                    backing: VmaBacking::Anonymous {
+                        fill_pattern: 0x5050,
+                    },
                     ..MmapOptions::default()
                 },
             )
@@ -816,14 +823,20 @@ mod tests {
                 spray_len,
                 MmapOptions {
                     populate: true,
-                    backing: VmaBacking::SharedFrames { frames: frames.clone() },
+                    backing: VmaBacking::SharedFrames {
+                        frames: frames.clone(),
+                    },
                     ..MmapOptions::default()
                 },
             )
             .unwrap();
         // 64 MiB / 2 MiB = 32 Level-1 page tables were created.
         let proc = sys.process(pid).unwrap();
-        assert!(proc.l1pt_frames.len() >= 32, "got {}", proc.l1pt_frames.len());
+        assert!(
+            proc.l1pt_frames.len() >= 32,
+            "got {}",
+            proc.l1pt_frames.len()
+        );
         assert!(sys.stats().l1pt_frames >= 32);
         // Every sprayed page reads the shared pattern and translates to the
         // single shared frame.
@@ -831,7 +844,9 @@ mod tests {
             let acc = sys.read_u64(pid, spray_va + offset).unwrap();
             assert_eq!(acc.value, 0x5050, "offset {offset:#x}");
             assert_eq!(
-                sys.oracle_translate(pid, spray_va + offset).unwrap().frame_number(),
+                sys.oracle_translate(pid, spray_va + offset)
+                    .unwrap()
+                    .frame_number(),
                 frames[0]
             );
         }
@@ -839,7 +854,10 @@ mod tests {
         // L1PT frames are mostly consecutive (buddy allocator behaviour).
         let l1pts = &sys.process(pid).unwrap().l1pt_frames;
         let consecutive = l1pts.windows(2).filter(|w| w[1] == w[0] + 1).count();
-        assert!(consecutive * 10 >= (l1pts.len() - 1) * 8, "≥80% consecutive");
+        assert!(
+            consecutive * 10 >= (l1pts.len() - 1) * 8,
+            "≥80% consecutive"
+        );
     }
 
     #[test]
@@ -858,11 +876,12 @@ mod tests {
                     page_size: PageSize::Huge2M,
                     populate: true,
                     backing: VmaBacking::Anonymous { fill_pattern: 0xEE },
-                    ..MmapOptions::default()
                 },
             )
             .unwrap();
-        let acc = sys.read_u64(pid, va + 3 * HUGE_PAGE_SIZE + 0x1234 * 8).unwrap();
+        let acc = sys
+            .read_u64(pid, va + 3 * HUGE_PAGE_SIZE + 0x1234 * 8)
+            .unwrap();
         assert_eq!(acc.value, 0xEE);
         // Physical base shares the low 21 bits with the virtual address.
         let pa = sys.oracle_translate(pid, va).unwrap();
@@ -901,7 +920,9 @@ mod tests {
     fn access_batch_handles_faults() {
         let mut sys = system();
         let pid = sys.spawn_process(1000).unwrap();
-        let va = sys.mmap(pid, 4 * PAGE_SIZE, MmapOptions::default()).unwrap();
+        let va = sys
+            .mmap(pid, 4 * PAGE_SIZE, MmapOptions::default())
+            .unwrap();
         let addrs: Vec<VirtAddr> = (0..4).map(|i| va + i * PAGE_SIZE).collect();
         let total = sys.access_batch(pid, &addrs).unwrap();
         assert!(total.as_u64() > 0);

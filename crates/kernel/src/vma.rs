@@ -118,7 +118,9 @@ mod tests {
             start: VirtAddr::new(0),
             length: 0x10_0000,
             page_size: PageSize::Base4K,
-            backing: VmaBacking::SharedFrames { frames: vec![10, 20, 30] },
+            backing: VmaBacking::SharedFrames {
+                frames: vec![10, 20, 30],
+            },
         };
         assert_eq!(v.shared_frame_for(0), Some(10));
         assert_eq!(v.shared_frame_for(1), Some(20));

@@ -111,13 +111,35 @@ impl MachineConfig {
         }
     }
 
+    /// The CI-scale machine: [`test_small`](Self::test_small) with the small
+    /// cache hierarchy and a trimmed 2-slice, 256-set, 8-way LLC, so
+    /// eviction-pool construction costs seconds instead of minutes of host
+    /// time. This is the machine the integration tests and the campaign
+    /// harness's golden-snapshot matrix attack.
+    pub fn ci_small(flip_profile: FlipModelProfile, seed: u64) -> Self {
+        use pthammer_cache::{LlcConfig, ReplacementPolicy};
+        let mut cfg = Self::test_small(flip_profile, seed);
+        cfg.cache = CacheHierarchyConfig {
+            llc: LlcConfig {
+                slices: 2,
+                sets_per_slice: 256,
+                ways: 8,
+                latency: 18,
+                replacement: ReplacementPolicy::Srrip,
+                inclusive: true,
+            },
+            ..CacheHierarchyConfig::test_small(seed)
+        };
+        cfg
+    }
+
     /// Validates every component configuration.
     ///
     /// # Errors
     ///
     /// Returns a description of the first invalid component.
     pub fn validate(&self) -> Result<(), String> {
-        if !(self.clock_hz > 0.0) {
+        if self.clock_hz <= 0.0 || self.clock_hz.is_nan() {
             return Err("clock_hz must be positive".to_string());
         }
         self.cache.validate()?;

@@ -23,14 +23,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod choice;
 mod config;
 mod machine;
 mod memory;
 pub mod oracle;
 mod phys_mem;
 
+pub use choice::MachineChoice;
 pub use config::MachineConfig;
 pub use machine::{Machine, VirtualAccess};
 pub use memory::MemorySubsystem;
-pub use oracle::{SoftwareWalk, dram_location, l1pte_paddr, llc_location, same_bank, software_walk};
+pub use oracle::{
+    dram_location, l1pte_paddr, llc_location, same_bank, software_walk, SoftwareWalk,
+};
 pub use phys_mem::{AppliedFlip, PhysicalMemory};

@@ -160,8 +160,7 @@ impl Machine {
         self.mem.set_now(self.clock);
         self.mem.set_batch_mode(batch);
         let translation = self.mmu.translate(cr3, vaddr, &mut self.mem);
-        let mut latency = translation.latency
-            + Cycles::new(u64::from(self.config.access_overhead));
+        let mut latency = translation.latency + Cycles::new(u64::from(self.config.access_overhead));
         let l1pte_from_dram = translation
             .l1pte_load()
             .map(|l| l.outcome.served_by == MemoryLevel::Dram)
@@ -172,9 +171,7 @@ impl Machine {
         // fault: on real hardware the access would hit unpopulated physical
         // address space and the process would be killed by the kernel.
         let capacity = self.config.dram.geometry.capacity_bytes();
-        let translation_paddr = translation
-            .paddr
-            .filter(|p| p.as_u64() + 8 <= capacity);
+        let translation_paddr = translation.paddr.filter(|p| p.as_u64() + 8 <= capacity);
         let fault = if translation.paddr.is_some() && translation_paddr.is_none() {
             Some(PageFault { vaddr, level: 0 })
         } else {
@@ -236,11 +233,7 @@ impl Machine {
     /// would: independent DRAM misses overlap, so each DRAM-served access is
     /// charged the configured overlap latency instead of the full latency.
     /// Returns the total latency and any faults encountered.
-    pub fn access_batch(
-        &mut self,
-        cr3: PhysAddr,
-        vaddrs: &[VirtAddr],
-    ) -> (Cycles, Vec<PageFault>) {
+    pub fn access_batch(&mut self, cr3: PhysAddr, vaddrs: &[VirtAddr]) -> (Cycles, Vec<PageFault>) {
         let mut total = Cycles::ZERO;
         let mut faults = Vec::new();
         for &vaddr in vaddrs {
@@ -324,7 +317,10 @@ mod tests {
 
     /// Builds a machine with a single 4 KiB page mapped: VA `va` -> PA `pa`.
     fn machine_with_mapping(va: u64, pa: u64) -> (Machine, PhysAddr) {
-        let mut m = Machine::new(MachineConfig::test_small(FlipModelProfile::invulnerable(), 3));
+        let mut m = Machine::new(MachineConfig::test_small(
+            FlipModelProfile::invulnerable(),
+            3,
+        ));
         let cr3 = PhysAddr::new(0x40_0000);
         let pdpt = 0x40_1000u64;
         let pd = 0x40_2000u64;
@@ -428,7 +424,9 @@ mod tests {
         let (mut m, cr3) = machine_with_mapping(0x7000_0000, 0x9000);
         let (mut m2, cr3_2) = machine_with_mapping(0x7000_0000, 0x9000);
         // Touch several distinct lines of the mapped page.
-        let vaddrs: Vec<VirtAddr> = (0..8u64).map(|i| VirtAddr::new(0x7000_0000 + i * 64)).collect();
+        let vaddrs: Vec<VirtAddr> = (0..8u64)
+            .map(|i| VirtAddr::new(0x7000_0000 + i * 64))
+            .collect();
         let (batched, faults) = m.access_batch(cr3, &vaddrs);
         assert!(faults.is_empty());
         let mut serial = Cycles::ZERO;

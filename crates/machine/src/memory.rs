@@ -98,7 +98,7 @@ impl MemorySubsystem {
         let lookup = self.caches.access(paddr);
         if let Some(level) = lookup.hit_level {
             let latency = if self.batch_mode {
-                Cycles::new((lookup.latency.as_u64() + 2) / 3)
+                Cycles::new(lookup.latency.as_u64().div_ceil(3))
             } else {
                 lookup.latency
             };
@@ -125,8 +125,7 @@ impl MemorySubsystem {
             paddr,
             served_by: MemoryLevel::Dram,
             latency: lookup.latency + dram_latency,
-            row_buffer_hit: dram_access.row_buffer
-                == pthammer_dram::RowBufferOutcome::Hit,
+            row_buffer_hit: dram_access.row_buffer == pthammer_dram::RowBufferOutcome::Hit,
         }
     }
 
@@ -222,7 +221,7 @@ mod tests {
         let dram = DramModule::new(DramConfig::test_small(FlipModelProfile::ci(), 5));
         let geometry = dram.config().geometry;
         let model = dram.flip_model().clone();
-        let mapping = dram.mapping().clone();
+        let mapping = *dram.mapping();
         let base_unit = mapping.to_dram(PhysAddr::new(0)).bank_unit(&geometry);
         let victim_row = (1..geometry.rows_per_bank - 1)
             .find(|&r| model.row_is_weak(base_unit, r))

@@ -93,13 +93,19 @@ mod tests {
     use pthammer_mmu::PteFlags;
 
     fn machine() -> (Machine, PhysAddr) {
-        let mut m = Machine::new(MachineConfig::test_small(FlipModelProfile::invulnerable(), 3));
+        let mut m = Machine::new(MachineConfig::test_small(
+            FlipModelProfile::invulnerable(),
+            3,
+        ));
         let cr3 = PhysAddr::new(0x40_0000);
         let va = VirtAddr::new(0x1234_5000);
         let pdpt = 0x40_1000u64;
         let pd = 0x40_2000u64;
         let pt = 0x40_3000u64;
-        m.phys_write_u64(cr3 + va.pt_index(4) * 8, Pte::table(PhysAddr::new(pdpt)).raw());
+        m.phys_write_u64(
+            cr3 + va.pt_index(4) * 8,
+            Pte::table(PhysAddr::new(pdpt)).raw(),
+        );
         m.phys_write_u64(
             PhysAddr::new(pdpt) + va.pt_index(3) * 8,
             Pte::table(PhysAddr::new(pd)).raw(),

@@ -113,7 +113,10 @@ impl PhysicalMemory {
     /// Panics if the address is unaligned or out of range.
     pub fn write_u64(&mut self, paddr: PhysAddr, value: u64) {
         self.check(paddr, 8);
-        assert!(paddr.is_pte_aligned(), "write_u64 requires 8-byte alignment");
+        assert!(
+            paddr.is_pte_aligned(),
+            "write_u64 requires 8-byte alignment"
+        );
         let frame = paddr.frame_number();
         let entry = self
             .frames
@@ -224,14 +227,20 @@ mod tests {
     fn uniform_frames_stay_compact_until_heterogeneous_write() {
         let mut m = mem();
         m.write_frame_uniform(5, 0x1111_2222_3333_4444);
-        assert_eq!(m.read_u64(PhysAddr::from_frame(5, 8)), 0x1111_2222_3333_4444);
+        assert_eq!(
+            m.read_u64(PhysAddr::from_frame(5, 8)),
+            0x1111_2222_3333_4444
+        );
         assert_eq!(m.read_u8(PhysAddr::from_frame(5, 0)), 0x44);
         // Writing the same value keeps the compact representation.
         m.write_u64(PhysAddr::from_frame(5, 16), 0x1111_2222_3333_4444);
         // A different value materialises the frame.
         m.write_u64(PhysAddr::from_frame(5, 24), 7);
         assert_eq!(m.read_u64(PhysAddr::from_frame(5, 24)), 7);
-        assert_eq!(m.read_u64(PhysAddr::from_frame(5, 32)), 0x1111_2222_3333_4444);
+        assert_eq!(
+            m.read_u64(PhysAddr::from_frame(5, 32)),
+            0x1111_2222_3333_4444
+        );
     }
 
     #[test]

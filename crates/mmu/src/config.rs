@@ -92,7 +92,10 @@ impl TlbConfig {
     /// Returns a description of the problem.
     pub fn validate(&self) -> Result<(), String> {
         if self.sets == 0 || !self.sets.is_power_of_two() {
-            return Err(format!("TLB sets must be a power of two, got {}", self.sets));
+            return Err(format!(
+                "TLB sets must be a power of two, got {}",
+                self.sets
+            ));
         }
         if self.ways == 0 {
             return Err("TLB associativity must be non-zero".to_string());
@@ -215,7 +218,10 @@ mod tests {
         // Two VPNs congruent mod 128 need not be congruent under the XOR fold.
         let a = 0u64;
         let b = 128u64;
-        assert_eq!(TlbIndexing::Linear.set_index(a, 128), TlbIndexing::Linear.set_index(b, 128));
+        assert_eq!(
+            TlbIndexing::Linear.set_index(a, 128),
+            TlbIndexing::Linear.set_index(b, 128)
+        );
         assert_ne!(
             TlbIndexing::XorFold.set_index(a, 128),
             TlbIndexing::XorFold.set_index(b, 128)

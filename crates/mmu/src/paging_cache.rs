@@ -65,7 +65,10 @@ impl PagingStructureCache {
     ///
     /// Panics if `capacity` is zero.
     pub fn new(level: PscLevel, capacity: usize) -> Self {
-        assert!(capacity > 0, "paging-structure cache capacity must be non-zero");
+        assert!(
+            capacity > 0,
+            "paging-structure cache capacity must be non-zero"
+        );
         Self {
             level,
             capacity,
@@ -95,10 +98,13 @@ impl PagingStructureCache {
         let tag = self.level.tag_of(vaddr);
         self.tick += 1;
         let tick = self.tick;
-        self.entries.iter_mut().find(|(t, _, _)| *t == tag).map(|e| {
-            e.2 = tick;
-            e.1
-        })
+        self.entries
+            .iter_mut()
+            .find(|(t, _, _)| *t == tag)
+            .map(|e| {
+                e.2 = tick;
+                e.1
+            })
     }
 
     /// Probes for `vaddr` without updating LRU state.
@@ -174,7 +180,10 @@ mod tests {
         let va = VirtAddr::new(7 * TWO_MIB + 0x123);
         assert_eq!(c.lookup(va), None);
         c.insert(va, PhysAddr::new(0x55_000));
-        assert_eq!(c.lookup(VirtAddr::new(7 * TWO_MIB)), Some(PhysAddr::new(0x55_000)));
+        assert_eq!(
+            c.lookup(VirtAddr::new(7 * TWO_MIB)),
+            Some(PhysAddr::new(0x55_000))
+        );
         assert!(c.contains(va));
         assert_eq!(c.len(), 1);
     }
@@ -182,7 +191,7 @@ mod tests {
     #[test]
     fn lru_eviction_when_full() {
         let mut c = PagingStructureCache::new(PscLevel::Pde, 2);
-        let a = VirtAddr::new(1 * TWO_MIB);
+        let a = VirtAddr::new(TWO_MIB);
         let b = VirtAddr::new(2 * TWO_MIB);
         let d = VirtAddr::new(3 * TWO_MIB);
         c.insert(a, PhysAddr::new(0x1000));
@@ -209,7 +218,7 @@ mod tests {
     #[test]
     fn invalidate_and_flush() {
         let mut c = PagingStructureCache::new(PscLevel::Pdpte, 4);
-        let a = VirtAddr::new(1 * GIB);
+        let a = VirtAddr::new(GIB);
         let b = VirtAddr::new(2 * GIB);
         c.insert(a, PhysAddr::new(0x1000));
         c.insert(b, PhysAddr::new(0x2000));

@@ -99,7 +99,13 @@ impl Tlb {
         config.validate().expect("invalid TLB configuration");
         let sets = vec![vec![None; config.ways as usize]; config.sets as usize];
         let meta = (0..config.sets)
-            .map(|s| SetMeta::new(config.replacement, config.ways as usize, seed ^ (u64::from(s) << 13) | 1))
+            .map(|s| {
+                SetMeta::new(
+                    config.replacement,
+                    config.ways as usize,
+                    seed ^ (u64::from(s) << 13) | 1,
+                )
+            })
             .collect();
         Self { config, sets, meta }
     }
@@ -184,7 +190,10 @@ impl Tlb {
 
     /// Number of valid entries currently held in `set`.
     pub fn occupancy(&self, set: u32) -> usize {
-        self.sets[set as usize].iter().filter(|s| s.is_some()).count()
+        self.sets[set as usize]
+            .iter()
+            .filter(|s| s.is_some())
+            .count()
     }
 }
 
@@ -371,7 +380,10 @@ mod tests {
             page_size: PageSize::Huge2M,
         };
         let vaddr = VirtAddr::new(3 * HUGE_PAGE_SIZE + 0x12_3456);
-        assert_eq!(huge.translate(vaddr), PhysAddr::new(3 * HUGE_PAGE_SIZE + 0x12_3456));
+        assert_eq!(
+            huge.translate(vaddr),
+            PhysAddr::new(3 * HUGE_PAGE_SIZE + 0x12_3456)
+        );
     }
 
     #[test]
@@ -488,7 +500,10 @@ mod tests {
         };
         let at_assoc = evict_rate(4);
         let at_8 = evict_rate(8);
-        assert!(at_8 > 0.95, "8 congruent inserts should almost always evict, got {at_8}");
+        assert!(
+            at_8 > 0.95,
+            "8 congruent inserts should almost always evict, got {at_8}"
+        );
         assert!(at_assoc <= at_8);
     }
 }

@@ -23,7 +23,9 @@ use crate::{CACHE_LINE_SIZE, HUGE_PAGE_SIZE, PAGE_SIZE, PTE_SIZE};
 /// assert_eq!(a.page_offset(), 0x40);
 /// assert_eq!(a.cache_line_offset(), 0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct PhysAddr(u64);
 
 impl PhysAddr {
@@ -79,7 +81,7 @@ impl PhysAddr {
 
     /// Returns true if the address is aligned to an 8-byte (PTE-sized) boundary.
     pub const fn is_pte_aligned(self) -> bool {
-        self.0 % PTE_SIZE == 0
+        self.0.is_multiple_of(PTE_SIZE)
     }
 
     /// Returns a new address offset by `delta` bytes.
@@ -152,7 +154,9 @@ impl Sub<PhysAddr> for PhysAddr {
 /// assert_eq!(v.pt_index(4), (0x7fff_8000_1000u64 >> 39) & 0x1ff);
 /// assert_eq!(v.pt_index(1), (0x7fff_8000_1000u64 >> 12) & 0x1ff);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct VirtAddr(u64);
 
 impl VirtAddr {
@@ -209,12 +213,12 @@ impl VirtAddr {
 
     /// Returns true when the address is 4 KiB aligned.
     pub const fn is_page_aligned(self) -> bool {
-        self.0 % PAGE_SIZE == 0
+        self.0.is_multiple_of(PAGE_SIZE)
     }
 
     /// Returns true when the address is 2 MiB aligned.
     pub const fn is_huge_page_aligned(self) -> bool {
-        self.0 % HUGE_PAGE_SIZE == 0
+        self.0.is_multiple_of(HUGE_PAGE_SIZE)
     }
 }
 

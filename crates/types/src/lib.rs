@@ -30,7 +30,7 @@ mod cycles;
 mod flip;
 mod page;
 
-pub use access::{AccessKind, MemoryLevel, MemAccessOutcome, PhysicalMemoryAccess};
+pub use access::{AccessKind, MemAccessOutcome, MemoryLevel, PhysicalMemoryAccess};
 pub use addr::{PhysAddr, VirtAddr};
 pub use cycles::Cycles;
 pub use flip::{CellOrientation, FlipDirection};

@@ -1,37 +1,47 @@
 //! Section IV-G: run PThammer against the software-only defenses (CATT,
 //! RIP-RH, CTA) and against ZebRAM, which the paper lists as not bypassed.
 //!
+//! Each run boots through [`DefenseChoice::build_system`], the same path the
+//! campaign harness uses, so the defense parameters live in exactly one
+//! place (`pthammer-defenses`).
+//!
 //! Run with: `cargo run --release --example defense_evaluation`
 
 use pthammer::{AttackConfig, PtHammer};
-use pthammer_defenses::{CattPolicy, CtaPolicy, RipRhPolicy, ZebramPolicy};
-use pthammer_dram::{FlipModel, FlipModelProfile};
-use pthammer_kernel::{DefaultPolicy, KernelConfig, PlacementPolicy, System};
+use pthammer_defenses::DefenseChoice;
+use pthammer_dram::FlipModelProfile;
+use pthammer_kernel::KernelConfig;
 use pthammer_machine::MachineConfig;
 
-fn run_against(name: &str, policy_for: impl Fn(&MachineConfig) -> Box<dyn PlacementPolicy>, spray_creds: bool) {
-    let mut machine = MachineConfig::lenovo_t420(FlipModelProfile::fast(), 11);
-    if spray_creds {
-        machine.dram.flip_profile.true_cell_fraction = 0.9;
-    }
-    let policy = policy_for(&machine);
-    let mut sys = System::new(machine, KernelConfig::default_config(), policy);
+fn run_against(defense: DefenseChoice) {
+    let machine = MachineConfig::lenovo_t420(FlipModelProfile::fast(), 11);
+    let mut sys = defense.build_system(machine, KernelConfig::default_config());
     let pid = sys.spawn_process(1000).expect("spawn");
-    if spray_creds {
+    if defense == DefenseChoice::Cta {
+        // The paper's CTA bypass corrupts sprayed struct cred objects.
         sys.spawn_processes(2_000, 1000).expect("cred spray");
     }
     let config = AttackConfig {
         spray_bytes: 1 << 30,
         hammer_rounds_per_attempt: 2_500,
-        max_attempts: if name == "ZebRAM" { 6 } else { 12 },
+        max_attempts: if defense == DefenseChoice::Zebram {
+            6
+        } else {
+            12
+        },
         eviction_buffer_factor: 1.25,
         ..AttackConfig::quick_test(11, false)
     };
     let attack = PtHammer::new(config).expect("config");
+    let name = defense.name();
     match attack.run(&mut sys, pid) {
         Ok(outcome) => println!(
             "{name:<12} escalated={:<5} flips={:<3} exploitable={:<3} attempts={:<3} route={:?}",
-            outcome.escalated, outcome.flips_observed, outcome.exploitable_flips, outcome.attempts, outcome.route
+            outcome.escalated,
+            outcome.flips_observed,
+            outcome.exploitable_flips,
+            outcome.attempts,
+            outcome.route
         ),
         Err(err) => println!("{name:<12} attack aborted: {err}"),
     }
@@ -39,13 +49,8 @@ fn run_against(name: &str, policy_for: impl Fn(&MachineConfig) -> Box<dyn Placem
 
 fn main() {
     println!("PThammer vs. software-only rowhammer defenses (scaled run)\n");
-    run_against("undefended", |_| Box::new(DefaultPolicy::new()), false);
-    run_against("CATT", |m| Box::new(CattPolicy::new(&m.dram.geometry, 0.25, 1)), false);
-    run_against("RIP-RH", |m| Box::new(RipRhPolicy::new(&m.dram.geometry, 64, 2)), false);
-    run_against("CTA", |m| {
-        let model = FlipModel::new(m.dram.flip_profile, m.dram.flip_seed, m.dram.geometry.row_bytes);
-        Box::new(CtaPolicy::new(&m.dram.geometry, &model, 0.2))
-    }, true);
-    run_against("ZebRAM", |m| Box::new(ZebramPolicy::new(&m.dram.geometry)), false);
+    for defense in DefenseChoice::all() {
+        run_against(defense);
+    }
     println!("\nExpected: undefended, CATT, RIP-RH and CTA fall (CTA via cred corruption); ZebRAM holds.");
 }

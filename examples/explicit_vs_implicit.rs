@@ -35,8 +35,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let flip = hammer.run_until_first_flip(&mut sys, pid, &config)?;
     let explicit_window = sys.rdtsc() - start;
     let explicit_dram = sys.machine().dram_stats().accesses - start_dram;
-    println!("explicit clflush hammer: first flip = {:?} (simulated {:.2} s)",
-        flip.map(|f| f.vaddr), explicit_window as f64 / sys.machine().clock_hz());
+    println!(
+        "explicit clflush hammer: first flip = {:?} (simulated {:.2} s)",
+        flip.map(|f| f.vaddr),
+        explicit_window as f64 / sys.machine().clock_hz()
+    );
 
     // --- implicit (PThammer) hammering of kernel-owned Level-1 page tables ---
     let mut sys = System::undefended(MachineConfig::lenovo_t420(FlipModelProfile::fast(), 5));
@@ -63,7 +66,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let implicit_blows = stats.low_dram_hits + stats.high_dram_hits;
     println!(
         "implicit PThammer: {} rounds, avg {:.0} cycles/round, {} implicit kernel-row activations",
-        stats.rounds, stats.avg_round_cycles(), implicit_blows
+        stats.rounds,
+        stats.avg_round_cycles(),
+        implicit_blows
     );
 
     // --- what an ANVIL-style detector can see ---
@@ -74,15 +79,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nANVIL-style detection (threshold {threshold} DRAM accesses / Mcycle):");
     println!(
         "  explicit hammer, unmodified ANVIL : detected = {}",
-        naive.observe_window(explicit_window, explicit_dram, 0).detected
+        naive
+            .observe_window(explicit_window, explicit_dram, 0)
+            .detected
     );
     println!(
         "  PThammer, unmodified ANVIL        : detected = {}",
-        naive2.observe_window(implicit_window, 0, implicit_blows).detected
+        naive2
+            .observe_window(implicit_window, 0, implicit_blows)
+            .detected
     );
     println!(
         "  PThammer, ANVIL + implicit loads  : detected = {}",
-        extended.observe_window(implicit_window, 0, implicit_blows).detected
+        extended
+            .observe_window(implicit_window, 0, implicit_blows)
+            .detected
     );
     let _ = total_dram;
     Ok(())

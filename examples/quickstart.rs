@@ -14,7 +14,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let machine = MachineConfig::lenovo_t420(FlipModelProfile::fast(), 42);
     let mut system = System::undefended(machine);
     let pid = system.spawn_process(1000)?;
-    println!("booted {} — attacker pid {pid}, uid {}", system.machine().config().name, system.getuid(pid)?);
+    println!(
+        "booted {} — attacker pid {pid}, uid {}",
+        system.machine().config().name,
+        system.getuid(pid)?
+    );
 
     let config = AttackConfig {
         spray_bytes: 1 << 30,
@@ -31,12 +35,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("machine            : {}", outcome.machine);
     println!("page setting       : {}", outcome.page_setting);
     println!("hammer attempts    : {}", outcome.attempts);
-    println!("bit flips observed : {} ({} exploitable)", outcome.flips_observed, outcome.exploitable_flips);
-    println!("implicit DRAM rate : {:.1}% of hammer blows reached DRAM", outcome.implicit_dram_rate * 100.0);
+    println!(
+        "bit flips observed : {} ({} exploitable)",
+        outcome.flips_observed, outcome.exploitable_flips
+    );
+    println!(
+        "implicit DRAM rate : {:.1}% of hammer blows reached DRAM",
+        outcome.implicit_dram_rate * 100.0
+    );
     if let Some(minutes) = outcome.minutes_to_first_flip() {
         println!("first flip after   : {minutes:.3} simulated minutes");
     }
-    println!("escalated to root  : {} (uid {} -> {})", outcome.escalated, outcome.uid_before, outcome.uid_after);
+    println!(
+        "escalated to root  : {} (uid {} -> {})",
+        outcome.escalated, outcome.uid_before, outcome.uid_after
+    );
     if let Some(route) = outcome.route {
         println!("escalation route   : {route:?}");
     }

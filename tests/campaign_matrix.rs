@@ -1,0 +1,148 @@
+//! Golden-snapshot regression tier: the campaign harness runs the CI-scale
+//! machine × defense × profile matrix and its canonical JSON must match the
+//! committed snapshot **byte for byte**, independent of worker-thread count.
+//!
+//! This turns the entire simulator stack — DRAM weak cells, TRR, caches,
+//! TLBs, page walks, the buddy allocator, every defense policy, and the
+//! full attack chain — into one deterministic regression oracle: any
+//! behavioural drift anywhere shows up as a snapshot diff.
+//!
+//! Refreshing the snapshot after an *intentional* behaviour change:
+//!
+//! ```text
+//! PTHAMMER_UPDATE_GOLDEN=1 cargo test --test campaign_matrix
+//! ```
+//!
+//! then commit the updated `tests/golden/*.json` and explain the drift in
+//! the PR description.
+
+use std::path::PathBuf;
+
+use pthammer_harness::{run_campaign, CampaignConfig, ScenarioMatrix};
+
+/// Base seed of the pinned campaign; changing it invalidates the snapshot.
+const GOLDEN_BASE_SEED: u64 = 0x7453_4861_4d21;
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join("campaign_ci_matrix.json")
+}
+
+fn golden_matrix() -> ScenarioMatrix {
+    ScenarioMatrix::ci_default()
+}
+
+fn golden_config(threads: usize) -> CampaignConfig {
+    CampaignConfig {
+        threads,
+        ..CampaignConfig::ci(GOLDEN_BASE_SEED)
+    }
+}
+
+#[test]
+fn matrix_is_ci_scale_but_meaningful() {
+    let matrix = golden_matrix();
+    assert!(
+        matrix.len() >= 24,
+        "golden matrix must cover at least 24 cells, has {}",
+        matrix.len()
+    );
+    assert!(matrix.validate().is_ok());
+}
+
+/// Two-thread run must match the snapshot. Together with
+/// [`eight_thread_campaign_matches_golden_snapshot`] this also pins
+/// thread-count independence: both runs are compared to the same bytes.
+#[test]
+fn two_thread_campaign_matches_golden_snapshot() {
+    let json = run_campaign(&golden_matrix(), &golden_config(2)).to_canonical_json();
+    compare_with_golden(&json);
+}
+
+#[test]
+fn eight_thread_campaign_matches_golden_snapshot() {
+    let report = run_campaign(&golden_matrix(), &golden_config(8));
+    let json = report.to_canonical_json();
+
+    // Sanity-check the campaign itself before comparing bytes: the matrix
+    // must demonstrate the paper's headline contrasts.
+    let summary = |name: &str| {
+        report
+            .summaries
+            .iter()
+            .find(|s| s.defense == name)
+            .unwrap_or_else(|| panic!("missing summary for {name}"))
+    };
+    assert!(
+        summary("undefended").flip_cells > 0,
+        "undefended cells must observe flips: {json}"
+    );
+    assert_eq!(
+        report.cells.len(),
+        golden_matrix().len(),
+        "one row per cell"
+    );
+    for cell in report.cells.iter().filter(|c| c.profile == "invulnerable") {
+        assert_eq!(
+            cell.flips_observed, 0,
+            "invulnerable DRAM flipped: {cell:?}"
+        );
+        assert!(!cell.escalated);
+    }
+    for cell in report.cells.iter().filter(|c| c.defense == "ZebRAM") {
+        assert_eq!(
+            cell.exploitable_flips, 0,
+            "ZebRAM must prevent exploitable corruption: {cell:?}"
+        );
+        assert!(!cell.escalated);
+    }
+
+    compare_with_golden(&json);
+}
+
+/// Compares canonical campaign JSON against the committed snapshot, or
+/// rewrites the snapshot when `PTHAMMER_UPDATE_GOLDEN=1`.
+fn compare_with_golden(json: &str) {
+    let path = golden_path();
+    if std::env::var("PTHAMMER_UPDATE_GOLDEN")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+    {
+        std::fs::create_dir_all(path.parent().expect("golden dir")).expect("create golden dir");
+        std::fs::write(&path, json).expect("write golden snapshot");
+        eprintln!("updated golden snapshot at {}", path.display());
+        return;
+    }
+
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden snapshot {} ({e}); run with PTHAMMER_UPDATE_GOLDEN=1 to create it",
+            path.display()
+        )
+    });
+    assert!(
+        golden == json,
+        "campaign report drifted from the golden snapshot {}.\n\
+         If the change is intentional, refresh with PTHAMMER_UPDATE_GOLDEN=1 and commit.\n\
+         First diverging line: {}",
+        path.display(),
+        first_diff(&golden, json)
+    );
+}
+
+/// Human-readable pointer at the first differing line of two texts.
+fn first_diff(a: &str, b: &str) -> String {
+    for (i, (la, lb)) in a.lines().zip(b.lines()).enumerate() {
+        if la != lb {
+            return format!("line {}: golden `{la}` vs new `{lb}`", i + 1);
+        }
+    }
+    format!(
+        "texts share {} lines, lengths differ ({} vs {} bytes)",
+        a.lines().count().min(b.lines().count()),
+        a.len(),
+        b.len()
+    )
+}

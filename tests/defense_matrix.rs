@@ -3,26 +3,13 @@
 //! exploitable corruption; the undefended baseline must observe flips.
 
 use pthammer::{AttackConfig, PtHammer};
-use pthammer_cache::{CacheHierarchyConfig, LlcConfig, ReplacementPolicy};
 use pthammer_defenses::ZebramPolicy;
 use pthammer_dram::FlipModelProfile;
 use pthammer_kernel::{KernelConfig, System};
 use pthammer_machine::MachineConfig;
 
 fn machine(seed: u64) -> MachineConfig {
-    let mut cfg = MachineConfig::test_small(FlipModelProfile::ci(), seed);
-    cfg.cache = CacheHierarchyConfig {
-        llc: LlcConfig {
-            slices: 2,
-            sets_per_slice: 256,
-            ways: 8,
-            latency: 18,
-            replacement: ReplacementPolicy::Srrip,
-            inclusive: true,
-        },
-        ..CacheHierarchyConfig::test_small(seed)
-    };
-    cfg
+    MachineConfig::ci_small(FlipModelProfile::ci(), seed)
 }
 
 fn attack_config(seed: u64) -> AttackConfig {
@@ -41,7 +28,10 @@ fn zebram_guard_rows_prevent_exploitable_corruption() {
     let policy = Box::new(ZebramPolicy::new(&cfg.dram.geometry));
     let mut sys = System::new(cfg, KernelConfig::default_config(), policy);
     let pid = sys.spawn_process(1000).unwrap();
-    let outcome = PtHammer::new(attack_config(103)).unwrap().run(&mut sys, pid).unwrap();
+    let outcome = PtHammer::new(attack_config(103))
+        .unwrap()
+        .run(&mut sys, pid)
+        .unwrap();
     // Flips may still occur physically, but they land in guard rows, so the
     // attacker's sprayed mappings never change and escalation is impossible.
     assert_eq!(outcome.exploitable_flips, 0, "{outcome:?}");
@@ -53,6 +43,9 @@ fn zebram_guard_rows_prevent_exploitable_corruption() {
 fn undefended_baseline_observes_corrupted_mappings() {
     let mut sys = System::undefended(machine(104));
     let pid = sys.spawn_process(1000).unwrap();
-    let outcome = PtHammer::new(attack_config(104)).unwrap().run(&mut sys, pid).unwrap();
+    let outcome = PtHammer::new(attack_config(104))
+        .unwrap()
+        .run(&mut sys, pid)
+        .unwrap();
     assert!(outcome.flips_observed >= 1, "{outcome:?}");
 }

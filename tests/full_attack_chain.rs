@@ -3,25 +3,12 @@
 //! fully modelled machine.
 
 use pthammer::{AttackConfig, PtHammer};
-use pthammer_cache::{CacheHierarchyConfig, LlcConfig, ReplacementPolicy};
 use pthammer_dram::FlipModelProfile;
 use pthammer_kernel::System;
 use pthammer_machine::MachineConfig;
 
 fn small_vulnerable_machine(seed: u64) -> MachineConfig {
-    let mut cfg = MachineConfig::test_small(FlipModelProfile::ci(), seed);
-    cfg.cache = CacheHierarchyConfig {
-        llc: LlcConfig {
-            slices: 2,
-            sets_per_slice: 256,
-            ways: 8,
-            latency: 18,
-            replacement: ReplacementPolicy::Srrip,
-            inclusive: true,
-        },
-        ..CacheHierarchyConfig::test_small(seed)
-    };
-    cfg
+    MachineConfig::ci_small(FlipModelProfile::ci(), seed)
 }
 
 #[test]

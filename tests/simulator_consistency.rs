@@ -6,11 +6,14 @@ use pthammer::AttackConfig;
 use pthammer_dram::FlipModelProfile;
 use pthammer_kernel::{MmapOptions, System};
 use pthammer_machine::MachineConfig;
-use pthammer_types::{PAGE_SIZE, VirtAddr};
+use pthammer_types::{VirtAddr, PAGE_SIZE};
 
 #[test]
 fn sprayed_mappings_agree_with_the_oracle_and_dram_mapping() {
-    let mut sys = System::undefended(MachineConfig::test_small(FlipModelProfile::invulnerable(), 201));
+    let mut sys = System::undefended(MachineConfig::test_small(
+        FlipModelProfile::invulnerable(),
+        201,
+    ));
     let pid = sys.spawn_process(1000).unwrap();
     let config = AttackConfig {
         spray_bytes: 512 << 20,
@@ -34,20 +37,36 @@ fn sprayed_mappings_agree_with_the_oracle_and_dram_mapping() {
 
     // Every sprayed access the attacker performs reads the pattern, and the
     // data physically lives in the single shared frame.
-    let user_frame = sys.oracle_translate(pid, spray.user_page).unwrap().frame_number();
+    let user_frame = sys
+        .oracle_translate(pid, spray.user_page)
+        .unwrap()
+        .frame_number();
     for offset in [0u64, 17 * PAGE_SIZE, stride / 2, stride] {
         let va = VirtAddr::new(low.as_u64() + offset);
         assert_eq!(sys.read_u64(pid, va).unwrap().value, SPRAY_PATTERN);
-        assert_eq!(sys.oracle_translate(pid, va).unwrap().frame_number(), user_frame);
+        assert_eq!(
+            sys.oracle_translate(pid, va).unwrap().frame_number(),
+            user_frame
+        );
     }
 }
 
 #[test]
 fn attacker_timing_matches_microarchitectural_state() {
-    let mut sys = System::undefended(MachineConfig::test_small(FlipModelProfile::invulnerable(), 202));
+    let mut sys = System::undefended(MachineConfig::test_small(
+        FlipModelProfile::invulnerable(),
+        202,
+    ));
     let pid = sys.spawn_process(1000).unwrap();
     let va = sys
-        .mmap(pid, 4 * PAGE_SIZE, MmapOptions { populate: true, ..MmapOptions::default() })
+        .mmap(
+            pid,
+            4 * PAGE_SIZE,
+            MmapOptions {
+                populate: true,
+                ..MmapOptions::default()
+            },
+        )
         .unwrap();
     // Cold access: page walk plus DRAM.
     let cold = sys.read_u64(pid, va).unwrap();

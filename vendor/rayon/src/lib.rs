@@ -1,0 +1,266 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no crates.io access, so this crate implements
+//! the slice of rayon the campaign harness uses: `into_par_iter().map(..)
+//! .collect::<Vec<_>>()` plus [`ThreadPoolBuilder`] / [`ThreadPool::install`]
+//! for pinning the worker count. Work is distributed over
+//! [`std::thread::scope`] workers pulling from a shared queue; results are
+//! written back **by item index**, so the collected order (and therefore any
+//! serialized output) is independent of thread count and scheduling — the
+//! property the golden-snapshot determinism tests assert.
+
+#![forbid(unsafe_code)]
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+thread_local! {
+    /// Worker count installed by [`ThreadPool::install`] for the current
+    /// thread; 0 means "use the default".
+    static CURRENT_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(4, |n| n.get())
+}
+
+/// The number of workers a parallel iterator will use right now.
+pub fn current_num_threads() -> usize {
+    let installed = CURRENT_THREADS.with(Cell::get);
+    if installed == 0 {
+        default_threads()
+    } else {
+        installed
+    }
+}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+/// Error type mirroring `rayon::ThreadPoolBuildError`; never constructed.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with the default worker count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pins the worker count (0 keeps the default).
+    #[must_use]
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the pool.
+    ///
+    /// # Errors
+    ///
+    /// Never fails; the `Result` mirrors rayon's signature.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = if self.num_threads == 0 {
+            default_threads()
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { num_threads: n })
+    }
+}
+
+/// A (virtual) pool: in this stub a pool is just a pinned worker count that
+/// parallel iterators observe while a closure runs under [`install`](Self::install).
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `f` with this pool's worker count installed.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let previous = CURRENT_THREADS.with(|c| c.replace(self.num_threads));
+        let result = f();
+        CURRENT_THREADS.with(|c| c.set(previous));
+        result
+    }
+
+    /// The pinned worker count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+/// Runs `f(item)` for every item on a scoped worker pool, returning results
+/// in item order regardless of scheduling.
+fn parallel_map<I: Send, R: Send, F: Fn(I) -> R + Sync>(items: Vec<I>, f: F) -> Vec<R> {
+    let workers = current_num_threads().max(1).min(items.len().max(1));
+    if workers <= 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let slots: Vec<Mutex<Option<I>>> = items.into_iter().map(|i| Mutex::new(Some(i))).collect();
+    let results: Vec<Mutex<Option<R>>> = slots.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let idx = next.fetch_add(1, Ordering::Relaxed);
+                if idx >= slots.len() {
+                    break;
+                }
+                let item = slots[idx]
+                    .lock()
+                    .expect("item slot poisoned")
+                    .take()
+                    .expect("item taken twice");
+                let out = f(item);
+                *results[idx].lock().expect("result slot poisoned") = Some(out);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker skipped an item")
+        })
+        .collect()
+}
+
+/// A materialized parallel iterator over owned items.
+#[derive(Debug)]
+pub struct ParIter<I> {
+    items: Vec<I>,
+}
+
+impl<I: Send> ParIter<I> {
+    /// Maps every item through `f` in parallel.
+    pub fn map<R: Send, F: Fn(I) -> R + Sync>(self, f: F) -> MapIter<I, R, F> {
+        MapIter {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// A mapped parallel iterator; consumed by [`collect`](Self::collect).
+#[derive(Debug)]
+pub struct MapIter<I, R, F: Fn(I) -> R> {
+    items: Vec<I>,
+    f: F,
+}
+
+impl<I: Send, R: Send, F: Fn(I) -> R + Sync> MapIter<I, R, F> {
+    /// Executes the map on the installed pool, preserving item order.
+    pub fn collect<C: From<Vec<R>>>(self) -> C {
+        C::from(parallel_map(self.items, self.f))
+    }
+}
+
+/// Conversion into a parallel iterator, mirroring rayon's trait of the same
+/// name.
+pub trait IntoParallelIterator {
+    /// The element type.
+    type Item: Send;
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+/// Reference parallel iteration (`par_iter`), mirroring rayon.
+pub trait IntoParallelRefIterator<'a> {
+    /// The borrowed element type.
+    type Item: Send;
+    /// Creates a parallel iterator over references.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+pub mod prelude {
+    //! Glob-importable traits, mirroring `rayon::prelude`.
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let out: Vec<usize> = (0..100).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn install_pins_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        pool.install(|| assert_eq!(current_num_threads(), 3));
+        let pool1 = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let out: Vec<usize> = pool1.install(|| (0..10).into_par_iter().map(|i| i + 1).collect());
+        assert_eq!(out.len(), 10);
+    }
+
+    #[test]
+    fn par_iter_over_refs() {
+        let xs = vec![1u64, 2, 3];
+        let out: Vec<u64> = xs.par_iter().map(|&x| x * x).collect();
+        assert_eq!(out, vec![1, 4, 9]);
+    }
+
+    #[test]
+    fn results_identical_across_thread_counts() {
+        let work = |i: usize| (i as u64).wrapping_mul(0x9E37_79B9).rotate_left(7);
+        let seq: Vec<u64> = (0..64).map(work).collect();
+        for n in [1usize, 2, 8] {
+            let pool = ThreadPoolBuilder::new().num_threads(n).build().unwrap();
+            let par: Vec<u64> = pool.install(|| (0..64).into_par_iter().map(work).collect());
+            assert_eq!(par, seq, "thread count {n} changed results");
+        }
+    }
+}

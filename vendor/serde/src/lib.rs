@@ -1,0 +1,298 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no crates.io access, so this crate provides the
+//! surface the workspace needs: a [`Serialize`] trait that renders values as
+//! **canonical JSON** through [`ser::JsonWriter`], a marker [`Deserialize`]
+//! trait, and re-exported derive macros from the companion `serde_derive`
+//! stub. Canonical means: struct fields in declaration order, no optional
+//! whitespace in compact mode, fixed float formatting — so equal values
+//! always produce byte-identical JSON, which the golden-snapshot regression
+//! tier depends on.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod ser;
+
+/// Types that can render themselves as JSON through a [`ser::JsonWriter`].
+///
+/// Unlike upstream serde there is no generic `Serializer` abstraction: JSON
+/// is the only backend this workspace emits.
+pub trait Serialize {
+    /// Writes `self` into `w`.
+    fn serialize(&self, w: &mut ser::JsonWriter);
+}
+
+/// Marker trait mirroring upstream serde's `Deserialize`.
+///
+/// The offline stub has no decoding path (golden snapshots are compared
+/// byte-for-byte), but deriving it keeps the workspace source-compatible
+/// with the real crate.
+pub trait Deserialize {}
+
+// --- primitive impls -------------------------------------------------------
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self, w: &mut ser::JsonWriter) {
+                w.raw(itoa(*self as i128));
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self, w: &mut ser::JsonWriter) {
+                w.raw(utoa(*self as u128));
+            }
+        }
+    )*};
+}
+
+fn utoa(v: u128) -> String {
+    let mut s = String::new();
+    let mut v = v;
+    if v == 0 {
+        return "0".to_string();
+    }
+    let mut digits = [0u8; 40];
+    let mut n = 0;
+    while v > 0 {
+        digits[n] = b'0' + (v % 10) as u8;
+        v /= 10;
+        n += 1;
+    }
+    for i in (0..n).rev() {
+        s.push(digits[i] as char);
+    }
+    s
+}
+
+fn itoa(v: i128) -> String {
+    if v < 0 {
+        format!("-{}", utoa(v.unsigned_abs()))
+    } else {
+        utoa(v as u128)
+    }
+}
+
+impl_uint!(u8, u16, u32, u64, usize, u128);
+impl_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for bool {
+    fn serialize(&self, w: &mut ser::JsonWriter) {
+        w.raw(if *self { "true" } else { "false" }.to_string());
+    }
+}
+
+fn float_repr(v: f64) -> String {
+    if !v.is_finite() {
+        // serde_json emits null for non-finite floats.
+        return "null".to_string();
+    }
+    let s = format!("{v}");
+    // Keep floats visually floats ("1.0", not "1") so the output is stable
+    // against integer/float type changes in the report structs.
+    if s.contains('.') || s.contains('e') || s.contains("inf") {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize(&self, w: &mut ser::JsonWriter) {
+        w.raw(float_repr(*self));
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self, w: &mut ser::JsonWriter) {
+        w.raw(float_repr(f64::from(*self)));
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self, w: &mut ser::JsonWriter) {
+        w.string(self);
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self, w: &mut ser::JsonWriter) {
+        w.string(self);
+    }
+}
+
+impl Serialize for char {
+    fn serialize(&self, w: &mut ser::JsonWriter) {
+        w.string(&self.to_string());
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self, w: &mut ser::JsonWriter) {
+        (**self).serialize(w);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize(&self, w: &mut ser::JsonWriter) {
+        (**self).serialize(w);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self, w: &mut ser::JsonWriter) {
+        match self {
+            Some(v) => v.serialize(w),
+            None => w.null(),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self, w: &mut ser::JsonWriter) {
+        w.begin_array();
+        for item in self {
+            w.elem();
+            item.serialize(w);
+        }
+        w.end_array();
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self, w: &mut ser::JsonWriter) {
+        self.as_slice().serialize(w);
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self, w: &mut ser::JsonWriter) {
+        self.as_slice().serialize(w);
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize(&self, w: &mut ser::JsonWriter) {
+        w.begin_array();
+        w.elem();
+        self.0.serialize(w);
+        w.elem();
+        self.1.serialize(w);
+        w.end_array();
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn serialize(&self, w: &mut ser::JsonWriter) {
+        w.begin_array();
+        w.elem();
+        self.0.serialize(w);
+        w.elem();
+        self.1.serialize(w);
+        w.elem();
+        self.2.serialize(w);
+        w.end_array();
+    }
+}
+
+impl<K: Serialize + Ord, V: Serialize, S> Serialize for std::collections::HashMap<K, V, S> {
+    fn serialize(&self, w: &mut ser::JsonWriter) {
+        // Canonical form: sorted array of [key, value] pairs, so hash-order
+        // never leaks into the output.
+        let mut entries: Vec<(&K, &V)> = self.iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        w.begin_array();
+        for (k, v) in entries {
+            w.elem();
+            (k, v).serialize(w);
+        }
+        w.end_array();
+    }
+}
+
+impl<T: Serialize + Ord, S> Serialize for std::collections::HashSet<T, S> {
+    fn serialize(&self, w: &mut ser::JsonWriter) {
+        let mut entries: Vec<&T> = self.iter().collect();
+        entries.sort();
+        entries.serialize(w);
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::BTreeSet<T> {
+    fn serialize(&self, w: &mut ser::JsonWriter) {
+        w.begin_array();
+        for item in self {
+            w.elem();
+            item.serialize(w);
+        }
+        w.end_array();
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::VecDeque<T> {
+    fn serialize(&self, w: &mut ser::JsonWriter) {
+        w.begin_array();
+        for item in self {
+            w.elem();
+            item.serialize(w);
+        }
+        w.end_array();
+    }
+}
+
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn serialize(&self, w: &mut ser::JsonWriter) {
+        w.begin_object();
+        for (k, v) in self {
+            w.key(k);
+            v.serialize(w);
+        }
+        w.end_object();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::ser::JsonWriter;
+    use super::Serialize;
+
+    fn render<T: Serialize>(v: &T, pretty: bool) -> String {
+        let mut w = JsonWriter::new(pretty);
+        v.serialize(&mut w);
+        w.into_string()
+    }
+
+    #[test]
+    fn primitives() {
+        assert_eq!(render(&42u64, false), "42");
+        assert_eq!(render(&-7i64, false), "-7");
+        assert_eq!(render(&true, false), "true");
+        assert_eq!(render(&1.5f64, false), "1.5");
+        assert_eq!(render(&1.0f64, false), "1.0");
+        assert_eq!(render(&f64::NAN, false), "null");
+        assert_eq!(render(&"a\"b\n".to_string(), false), "\"a\\\"b\\n\"");
+        assert_eq!(render(&Option::<u64>::None, false), "null");
+        assert_eq!(render(&Some(3u32), false), "3");
+    }
+
+    #[test]
+    fn containers() {
+        assert_eq!(render(&vec![1u8, 2, 3], false), "[1,2,3]");
+        assert_eq!(render(&(1u8, "x"), false), "[1,\"x\"]");
+        let empty: Vec<u8> = vec![];
+        assert_eq!(render(&empty, false), "[]");
+    }
+
+    #[test]
+    fn pretty_arrays_indent() {
+        let s = render(&vec![1u8, 2], true);
+        assert_eq!(s, "[\n  1,\n  2\n]");
+    }
+}

@@ -1,0 +1,175 @@
+//! The JSON writer behind the offline [`Serialize`](crate::Serialize) trait.
+
+/// Streaming JSON writer with compact and pretty modes.
+///
+/// Output is canonical: compact mode emits no optional whitespace, pretty
+/// mode uses two-space indentation and `\n` line endings. Comma placement is
+/// tracked per container so generated `Serialize` impls only need to call
+/// [`key`](Self::key) / [`elem`](Self::elem) before each member.
+#[derive(Debug)]
+pub struct JsonWriter {
+    out: String,
+    pretty: bool,
+    /// One entry per open container: `true` once a member has been written.
+    stack: Vec<bool>,
+}
+
+impl JsonWriter {
+    /// Creates a writer; `pretty` selects indented output.
+    pub fn new(pretty: bool) -> Self {
+        Self {
+            out: String::new(),
+            pretty,
+            stack: Vec::new(),
+        }
+    }
+
+    /// Consumes the writer, returning the JSON text.
+    pub fn into_string(self) -> String {
+        self.out
+    }
+
+    fn newline_indent(&mut self) {
+        if self.pretty {
+            self.out.push('\n');
+            for _ in 0..self.stack.len() {
+                self.out.push_str("  ");
+            }
+        }
+    }
+
+    /// Separator bookkeeping before a member of the innermost container.
+    fn member(&mut self) {
+        if let Some(has_members) = self.stack.last_mut() {
+            if *has_members {
+                self.out.push(',');
+            }
+            *has_members = true;
+            self.newline_indent();
+        }
+    }
+
+    /// Opens a JSON object.
+    pub fn begin_object(&mut self) {
+        self.out.push('{');
+        self.stack.push(false);
+    }
+
+    /// Closes the innermost JSON object.
+    pub fn end_object(&mut self) {
+        let had_members = self.stack.pop().unwrap_or(false);
+        if had_members {
+            self.newline_indent();
+        }
+        self.out.push('}');
+    }
+
+    /// Opens a JSON array.
+    pub fn begin_array(&mut self) {
+        self.out.push('[');
+        self.stack.push(false);
+    }
+
+    /// Closes the innermost JSON array.
+    pub fn end_array(&mut self) {
+        let had_members = self.stack.pop().unwrap_or(false);
+        if had_members {
+            self.newline_indent();
+        }
+        self.out.push(']');
+    }
+
+    /// Writes an object key (including the separator from the previous
+    /// member); the caller then writes the value.
+    pub fn key(&mut self, name: &str) {
+        self.member();
+        self.push_escaped(name);
+        self.out.push(':');
+        if self.pretty {
+            self.out.push(' ');
+        }
+    }
+
+    /// Marks the start of an array element (separator only).
+    pub fn elem(&mut self) {
+        self.member();
+    }
+
+    /// Writes a pre-rendered JSON token (number, `true`, `null`, ...).
+    pub fn raw(&mut self, token: String) {
+        self.out.push_str(&token);
+    }
+
+    /// Writes a JSON string with escaping.
+    pub fn string(&mut self, s: &str) {
+        self.push_escaped(s);
+    }
+
+    /// Writes `null`.
+    pub fn null(&mut self) {
+        self.out.push_str("null");
+    }
+
+    fn push_escaped(&mut self, s: &str) {
+        self.out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => self.out.push_str("\\\""),
+                '\\' => self.out.push_str("\\\\"),
+                '\n' => self.out.push_str("\\n"),
+                '\r' => self.out.push_str("\\r"),
+                '\t' => self.out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    self.out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => self.out.push(c),
+            }
+        }
+        self.out.push('"');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::JsonWriter;
+
+    #[test]
+    fn compact_object() {
+        let mut w = JsonWriter::new(false);
+        w.begin_object();
+        w.key("a");
+        w.raw("1".into());
+        w.key("b");
+        w.string("x");
+        w.end_object();
+        assert_eq!(w.into_string(), "{\"a\":1,\"b\":\"x\"}");
+    }
+
+    #[test]
+    fn pretty_object() {
+        let mut w = JsonWriter::new(true);
+        w.begin_object();
+        w.key("a");
+        w.raw("1".into());
+        w.end_object();
+        assert_eq!(w.into_string(), "{\n  \"a\": 1\n}");
+    }
+
+    #[test]
+    fn empty_containers() {
+        let mut w = JsonWriter::new(true);
+        w.begin_object();
+        w.key("xs");
+        w.begin_array();
+        w.end_array();
+        w.end_object();
+        assert_eq!(w.into_string(), "{\n  \"xs\": []\n}");
+    }
+
+    #[test]
+    fn control_chars_escaped() {
+        let mut w = JsonWriter::new(false);
+        w.string("a\u{1}b");
+        assert_eq!(w.into_string(), "\"a\\u0001b\"");
+    }
+}

@@ -1,0 +1,321 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no crates.io access, so this proc-macro crate
+//! re-implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! subset of shapes this workspace uses — structs with named fields, tuple
+//! (newtype) structs, and enums whose variants are unit, tuple, or
+//! struct-like — without depending on `syn`/`quote`. The generated
+//! `Serialize` impl walks the companion `serde` crate's
+//! [`JsonWriter`](../serde/ser/struct.JsonWriter.html) and mirrors
+//! `serde_json`'s externally-tagged data model; `Deserialize` emits the
+//! marker impl the trait bound requires.
+//!
+//! Supported field attribute: `#[serde(skip)]` (field omitted from output).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+#[derive(Debug)]
+enum VariantFields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+#[derive(Debug)]
+enum Shape {
+    NamedStruct(Vec<Field>),
+    TupleStruct(Vec<Field>),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Input {
+    name: String,
+    shape: Shape,
+}
+
+fn is_punct(tok: &TokenTree, c: char) -> bool {
+    matches!(tok, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+fn is_ident(tok: &TokenTree, s: &str) -> bool {
+    matches!(tok, TokenTree::Ident(id) if id.to_string() == s)
+}
+
+/// Advances past a leading run of outer attributes, recording whether any of
+/// them was `#[serde(skip)]`-ish. Returns (new index, saw_skip).
+fn skip_attrs(toks: &[TokenTree], mut i: usize) -> (usize, bool) {
+    let mut skip = false;
+    while i < toks.len() && is_punct(&toks[i], '#') {
+        if let Some(TokenTree::Group(g)) = toks.get(i + 1) {
+            let body = g.stream().to_string();
+            if body.starts_with("serde") && body.contains("skip") {
+                skip = true;
+            }
+        }
+        i += 2;
+    }
+    (i, skip)
+}
+
+/// Advances past an optional `pub` / `pub(...)` visibility.
+fn skip_vis(toks: &[TokenTree], mut i: usize) -> usize {
+    if i < toks.len() && is_ident(&toks[i], "pub") {
+        i += 1;
+        if let Some(TokenTree::Group(g)) = toks.get(i) {
+            if g.delimiter() == Delimiter::Parenthesis {
+                i += 1;
+            }
+        }
+    }
+    i
+}
+
+/// Advances past a type (or any token run) up to a top-level `,`, consuming
+/// the comma itself. Angle brackets are depth-tracked so commas inside
+/// generics don't terminate early.
+fn skip_to_top_level_comma(toks: &[TokenTree], mut i: usize) -> usize {
+    let mut depth = 0i32;
+    while i < toks.len() {
+        if let TokenTree::Punct(p) = &toks[i] {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => return i + 1,
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let (j, skip) = skip_attrs(&toks, i);
+        i = skip_vis(&toks, j);
+        if i >= toks.len() {
+            break;
+        }
+        let name = toks[i].to_string();
+        i += 1; // field name
+        i += 1; // ':'
+        i = skip_to_top_level_comma(&toks, i);
+        fields.push(Field { name, skip });
+    }
+    fields
+}
+
+fn parse_tuple_fields(stream: TokenStream) -> Vec<Field> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    let mut index = 0usize;
+    while i < toks.len() {
+        let (j, skip) = skip_attrs(&toks, i);
+        i = skip_vis(&toks, j);
+        if i >= toks.len() {
+            break;
+        }
+        i = skip_to_top_level_comma(&toks, i);
+        fields.push(Field {
+            name: index.to_string(),
+            skip,
+        });
+        index += 1;
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let (j, _) = skip_attrs(&toks, i);
+        i = j;
+        if i >= toks.len() {
+            break;
+        }
+        let name = toks[i].to_string();
+        i += 1;
+        let fields = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = parse_tuple_fields(g.stream()).len();
+                i += 1;
+                VariantFields::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = parse_named_fields(g.stream());
+                i += 1;
+                VariantFields::Named(f)
+            }
+            _ => VariantFields::Unit,
+        };
+        // Skip a possible `= discriminant` and the trailing comma.
+        while i < toks.len() && !is_punct(&toks[i], ',') {
+            i += 1;
+        }
+        i += 1;
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let (mut i, _) = skip_attrs(&toks, 0);
+    i = skip_vis(&toks, i);
+    let kind = toks[i].to_string();
+    i += 1;
+    let name = toks[i].to_string();
+    i += 1;
+    if i < toks.len() && is_punct(&toks[i], '<') {
+        panic!("offline serde_derive stub does not support generic types (deriving for `{name}`)");
+    }
+    let shape = match kind.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(parse_tuple_fields(g.stream()))
+            }
+            _ => Shape::UnitStruct,
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("expected enum body, found {other:?}"),
+        },
+        other => panic!("offline serde_derive stub cannot derive for `{other}` items"),
+    };
+    Input { name, shape }
+}
+
+fn gen_named_fields_body(fields: &[Field], accessor: &str) -> String {
+    let mut body = String::from("__w.begin_object();\n");
+    for f in fields.iter().filter(|f| !f.skip) {
+        body.push_str(&format!(
+            "__w.key(\"{n}\"); ::serde::Serialize::serialize({a}{n}, __w);\n",
+            n = f.name,
+            a = accessor,
+        ));
+    }
+    body.push_str("__w.end_object();\n");
+    body
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let body = match &input.shape {
+        Shape::NamedStruct(fields) => gen_named_fields_body(fields, "&self."),
+        Shape::TupleStruct(fields) => {
+            let live: Vec<&Field> = fields.iter().filter(|f| !f.skip).collect();
+            match live.len() {
+                0 => "__w.begin_array(); __w.end_array();\n".to_string(),
+                1 => format!(
+                    "::serde::Serialize::serialize(&self.{}, __w);\n",
+                    live[0].name
+                ),
+                _ => {
+                    let mut b = String::from("__w.begin_array();\n");
+                    for f in &live {
+                        b.push_str(&format!(
+                            "__w.elem(); ::serde::Serialize::serialize(&self.{}, __w);\n",
+                            f.name
+                        ));
+                    }
+                    b.push_str("__w.end_array();\n");
+                    b
+                }
+            }
+        }
+        Shape::UnitStruct => "__w.null();\n".to_string(),
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                match &v.fields {
+                    VariantFields::Unit => {
+                        arms.push_str(&format!(
+                            "{ty}::{v} => {{ __w.string(\"{v}\"); }}\n",
+                            ty = input.name,
+                            v = v.name
+                        ));
+                    }
+                    VariantFields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        let mut inner = String::new();
+                        if *n == 1 {
+                            inner.push_str("::serde::Serialize::serialize(__f0, __w);\n");
+                        } else {
+                            inner.push_str("__w.begin_array();\n");
+                            for b in &binds {
+                                inner.push_str(&format!(
+                                    "__w.elem(); ::serde::Serialize::serialize({b}, __w);\n"
+                                ));
+                            }
+                            inner.push_str("__w.end_array();\n");
+                        }
+                        arms.push_str(&format!(
+                            "{ty}::{v}({bl}) => {{ __w.begin_object(); __w.key(\"{v}\"); {inner} __w.end_object(); }}\n",
+                            ty = input.name,
+                            v = v.name,
+                            bl = binds.join(", "),
+                        ));
+                    }
+                    VariantFields::Named(fields) => {
+                        let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let inner = gen_named_fields_body(fields, "");
+                        arms.push_str(&format!(
+                            "{ty}::{v} {{ {bl} }} => {{ __w.begin_object(); __w.key(\"{v}\"); {inner} __w.end_object(); }}\n",
+                            ty = input.name,
+                            v = v.name,
+                            bl = binds.join(", "),
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}\n")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize(&self, __w: &mut ::serde::ser::JsonWriter) {{\n{body}}}\n}}\n",
+        name = input.name
+    )
+}
+
+/// Derives the workspace's JSON-writing `Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_serialize(&parsed)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derives the marker `Deserialize` trait (the offline stub has no decoding
+/// path; golden-snapshot comparisons are byte-level).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    format!("impl ::serde::Deserialize for {} {{}}\n", parsed.name)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}

@@ -1,0 +1,120 @@
+//! Offline stand-in for `serde_json`: renders any [`serde::Serialize`] value
+//! as canonical JSON text (compact or pretty). There is no parsing path —
+//! the workspace's golden-snapshot tests compare JSON byte-for-byte.
+
+#![forbid(unsafe_code)]
+
+use serde::ser::JsonWriter;
+use serde::Serialize;
+
+/// Error type kept for signature compatibility with upstream `serde_json`.
+/// The offline writer is infallible, so this is never constructed.
+#[derive(Debug)]
+pub struct Error(());
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "serde_json stub error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serializes `value` as compact JSON.
+///
+/// # Errors
+///
+/// Never fails; the `Result` mirrors upstream `serde_json`'s signature.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut w = JsonWriter::new(false);
+    value.serialize(&mut w);
+    Ok(w.into_string())
+}
+
+/// Serializes `value` as pretty-printed JSON (two-space indent, `\n` line
+/// endings) — canonical across platforms.
+///
+/// # Errors
+///
+/// Never fails; the `Result` mirrors upstream `serde_json`'s signature.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut w = JsonWriter::new(true);
+    value.serialize(&mut w);
+    Ok(w.into_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use serde::{Deserialize, Serialize};
+
+    #[derive(Serialize, Deserialize)]
+    struct Point {
+        x: u64,
+        y: Option<f64>,
+        #[serde(skip)]
+        #[allow(dead_code)]
+        scratch: u64,
+        label: String,
+    }
+
+    #[derive(Serialize, Deserialize)]
+    enum Shape {
+        Dot,
+        Line { from: u64, to: u64 },
+        Tagged(u32),
+        Pair(u32, u32),
+    }
+
+    #[derive(Serialize, Deserialize)]
+    struct Wrapper(u64);
+
+    #[test]
+    fn derived_struct_compact() {
+        let p = Point {
+            x: 3,
+            y: Some(1.25),
+            scratch: 999,
+            label: "hi".into(),
+        };
+        assert_eq!(
+            super::to_string(&p).unwrap(),
+            "{\"x\":3,\"y\":1.25,\"label\":\"hi\"}"
+        );
+    }
+
+    #[test]
+    fn derived_enum_variants() {
+        assert_eq!(super::to_string(&Shape::Dot).unwrap(), "\"Dot\"");
+        assert_eq!(
+            super::to_string(&Shape::Line { from: 1, to: 2 }).unwrap(),
+            "{\"Line\":{\"from\":1,\"to\":2}}"
+        );
+        assert_eq!(
+            super::to_string(&Shape::Tagged(7)).unwrap(),
+            "{\"Tagged\":7}"
+        );
+        assert_eq!(
+            super::to_string(&Shape::Pair(1, 2)).unwrap(),
+            "{\"Pair\":[1,2]}"
+        );
+    }
+
+    #[test]
+    fn newtype_is_transparent() {
+        assert_eq!(super::to_string(&Wrapper(9)).unwrap(), "9");
+    }
+
+    #[test]
+    fn pretty_struct() {
+        let p = Point {
+            x: 1,
+            y: None,
+            scratch: 0,
+            label: "a".into(),
+        };
+        assert_eq!(
+            super::to_string_pretty(&p).unwrap(),
+            "{\n  \"x\": 1,\n  \"y\": null,\n  \"label\": \"a\"\n}"
+        );
+    }
+}
