@@ -55,6 +55,16 @@ fn bench_hammer_iteration(c: &mut Criterion) {
     group.bench_function("implicit_double_sided_iteration", |b| {
         b.iter(|| hammer.hammer_round(&mut sys, pid).unwrap())
     });
+    // Component benchmarks of the same round, for hot-path attribution.
+    group.bench_function("tlb_evict_one_target", |b| {
+        b.iter(|| hammer.tlb_low.evict(&mut sys, pid).unwrap())
+    });
+    group.bench_function("llc_evict_one_target", |b| {
+        b.iter(|| hammer.llc_low.evict(&mut sys, pid).unwrap())
+    });
+    group.bench_function("touch_target", |b| {
+        b.iter(|| sys.access(pid, hammer.pair.low).unwrap())
+    });
     group.finish();
 }
 

@@ -1,0 +1,174 @@
+//! Emits and gates the canonical `BENCH_perf.json` perf report.
+//!
+//! Runs a pinned workload set — the TestSmall hammer microbenchmark, one
+//! Table I attack cell, and the 30-cell golden campaign matrix — and records
+//! every deterministic simulator counter plus host wall time per workload.
+//!
+//! Modes:
+//!
+//! * `perf_report` / `perf_report --update` — run the workloads and write
+//!   `BENCH_perf.json` at the repository root (the committed baseline).
+//! * `perf_report --check` — run the workloads and compare against the
+//!   committed baseline, ignoring wall time. Exits non-zero if any counter
+//!   deviates; this is what the `perf-smoke` CI job runs.
+//!
+//! See `PERF.md` for the schema and the refresh workflow.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use pthammer_bench::scenarios::hammer_microbench;
+use pthammer_bench::{ExperimentScale, MachineChoice};
+use pthammer_harness::{
+    run_campaign_instrumented, run_cell_instrumented, CampaignConfig, CellCoord, CellPerf,
+    DefenseChoice, ProfileChoice, ScenarioMatrix,
+};
+use pthammer_perf::{PerfReport, Stopwatch, WorkloadPerf};
+
+/// Base seed of every pinned workload; the campaign seed matches the golden
+/// snapshot so this report and `tests/golden/campaign_ci_matrix.json` pin the
+/// same simulated behavior.
+const GOLDEN_BASE_SEED: u64 = 0x7453_4861_4d21;
+const MICROBENCH_SEED: u64 = 42;
+const MICROBENCH_ROUNDS: u64 = 600;
+
+fn baseline_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .join("BENCH_perf.json")
+}
+
+/// Workload 1: the TestSmall double-sided implicit hammer loop — the
+/// simulator's hottest path, measured in isolation.
+fn hammer_loop_workload() -> WorkloadPerf {
+    let bench = hammer_microbench(
+        MachineChoice::TestSmall,
+        ExperimentScale::scaled(),
+        MICROBENCH_ROUNDS,
+        MICROBENCH_SEED,
+    );
+    let mut counters = bench.counters.named();
+    counters.insert("hammer_iterations".to_string(), bench.accounting.iterations);
+    counters.insert(
+        "cycles_per_iteration".to_string(),
+        bench.accounting.cycles_per_iteration(),
+    );
+    counters.insert("sim_cycles".to_string(), bench.accounting.sim_cycles);
+    println!(
+        "hammer_loop_test_small: {} iters, {} cyc/iter, {:.0} sim iters/s, {:.0} host iters/s",
+        bench.accounting.iterations,
+        bench.accounting.cycles_per_iteration(),
+        bench.accounting.sim_iterations_per_second(),
+        bench.accounting.host_iterations_per_second(bench.wall_ns),
+    );
+    WorkloadPerf::new("hammer_loop_test_small", counters, bench.wall_ns)
+}
+
+fn cell_counters(perf: &CellPerf) -> BTreeMap<String, u64> {
+    let mut counters = perf.counters.named();
+    counters.insert("hammer_iterations".to_string(), perf.hammer_iterations);
+    counters.insert("sim_cycles".to_string(), perf.sim_cycles);
+    counters
+}
+
+/// Workload 2: one Table I attack cell (Lenovo T420, undefended, fast
+/// profile) at CI scale, via the campaign harness.
+fn table1_cell_workload() -> WorkloadPerf {
+    let coord = CellCoord {
+        machine: MachineChoice::LenovoT420,
+        defense: DefenseChoice::None,
+        profile: ProfileChoice::Fast,
+        repetition: 0,
+    };
+    let config = CampaignConfig::ci(GOLDEN_BASE_SEED);
+    let watch = Stopwatch::start();
+    let (report, perf) = run_cell_instrumented(&coord, &config);
+    let wall_ns = watch.elapsed_ns();
+    assert!(
+        report.error.is_none(),
+        "table1 cell aborted: {:?}",
+        report.error
+    );
+    println!(
+        "table1_cell_lenovo_t420: {} attempts, {} hammer iterations, {} flips",
+        report.attempts, perf.hammer_iterations, report.flips_observed
+    );
+    WorkloadPerf::new("table1_cell_lenovo_t420", cell_counters(&perf), wall_ns)
+}
+
+/// Workload 3: the full 30-cell golden campaign matrix (the same matrix,
+/// seed and scale the golden snapshot pins), aggregated over all cells.
+fn campaign_workload() -> WorkloadPerf {
+    let matrix = ScenarioMatrix::ci_default();
+    let config = CampaignConfig {
+        threads: 2,
+        ..CampaignConfig::ci(GOLDEN_BASE_SEED)
+    };
+    let watch = Stopwatch::start();
+    let (report, perf) = run_campaign_instrumented(&matrix, &config);
+    let wall_ns = watch.elapsed_ns();
+    let mut counters = cell_counters(&perf);
+    counters.insert("cells".to_string(), report.cells.len() as u64);
+    counters.insert(
+        "attempts".to_string(),
+        report.cells.iter().map(|c| c.attempts as u64).sum(),
+    );
+    counters.insert(
+        "flips_observed".to_string(),
+        report.cells.iter().map(|c| c.flips_observed as u64).sum(),
+    );
+    counters.insert(
+        "escalations".to_string(),
+        report.cells.iter().filter(|c| c.escalated).count() as u64,
+    );
+    println!(
+        "campaign_ci_matrix: {} cells, {} hammer iterations",
+        report.cells.len(),
+        perf.hammer_iterations
+    );
+    WorkloadPerf::new("campaign_ci_matrix", counters, wall_ns)
+}
+
+fn main() -> ExitCode {
+    let check = std::env::args().any(|a| a == "--check");
+    let report = PerfReport::new(vec![
+        hammer_loop_workload(),
+        table1_cell_workload(),
+        campaign_workload(),
+    ]);
+    let path = baseline_path();
+
+    if check {
+        let committed = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!(
+                    "missing committed baseline {} ({e}); run `perf_report --update` and commit it",
+                    path.display()
+                );
+                return ExitCode::FAILURE;
+            }
+        };
+        match report.check_against(&committed) {
+            Ok(()) => {
+                println!("perf counters match the committed baseline (wall time not gated)");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                eprintln!(
+                    "If the behavior change is intentional, refresh with \
+                     `cargo run --release -p pthammer-bench --bin perf_report -- --update` \
+                     and commit BENCH_perf.json."
+                );
+                ExitCode::FAILURE
+            }
+        }
+    } else {
+        std::fs::write(&path, report.to_canonical_json()).expect("write BENCH_perf.json");
+        println!("wrote {}", path.display());
+        ExitCode::SUCCESS
+    }
+}

@@ -1,5 +1,11 @@
 //! Reproduces Table I: system configurations of the modelled machines.
-use pthammer_bench::table;
+//!
+//! With `--measured`, additionally runs the pinned hammer microbenchmark on
+//! every machine and prints measured per-iteration costs. Those numbers are
+//! routed through the `pthammer-perf` accounting (the same source
+//! `perf_report` and the campaign harness report from), never re-derived
+//! from configuration.
+use pthammer_bench::{scenarios, table, ExperimentScale, MachineChoice};
 
 fn main() {
     let widths = [14, 24, 16, 14, 10];
@@ -10,5 +16,41 @@ fn main() {
     );
     for row in pthammer_bench::scenarios::table1_rows() {
         table::row(row.as_ref(), &widths);
+    }
+
+    if !std::env::args().any(|a| a == "--measured") {
+        return;
+    }
+    let scale = ExperimentScale::from_env();
+    println!("\nscale: {}", scale.describe());
+    let widths = [14, 10, 12, 12, 14, 12];
+    table::header(
+        "Measured: double-sided implicit hammer (pthammer-perf accounting)",
+        &[
+            "Machine",
+            "Iters",
+            "Cyc/iter",
+            "DRAMrate",
+            "SimIters/s",
+            "HostIt/s",
+        ],
+        &widths,
+    );
+    for machine in MachineChoice::selected() {
+        let bench = scenarios::hammer_microbench(machine, scale, 300, 42);
+        table::row(
+            &[
+                machine.name().to_string(),
+                bench.accounting.iterations.to_string(),
+                bench.accounting.cycles_per_iteration().to_string(),
+                table::fmt_f64(bench.implicit_dram_rate, 3),
+                table::fmt_f64(bench.accounting.sim_iterations_per_second(), 0),
+                table::fmt_f64(
+                    bench.accounting.host_iterations_per_second(bench.wall_ns),
+                    0,
+                ),
+            ],
+            &widths,
+        );
     }
 }

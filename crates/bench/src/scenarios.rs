@@ -14,6 +14,7 @@ use pthammer_harness::{
     ScenarioMatrix,
 };
 use pthammer_kernel::{DefaultPolicy, KernelConfig, PlacementPolicy, System};
+use pthammer_perf::{HammerAccounting, MachineCounters, Stopwatch};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -278,6 +279,81 @@ pub fn fig6_hammer_samples(
 }
 
 // ---------------------------------------------------------------------------
+// Hammer microbenchmark (perf-counter routed)
+// ---------------------------------------------------------------------------
+
+/// Measured result of the pinned hammer microbenchmark.
+///
+/// Every number is routed through `pthammer-perf`: iteration counts and
+/// per-iteration costs come from [`HammerAccounting`], hardware events from
+/// [`MachineCounters`] deltas. The repro binaries and `perf_report` consume
+/// this struct instead of re-deriving timings ad hoc.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HammerMicrobench {
+    /// Iteration count and simulated cycle cost of the measured loop.
+    pub accounting: HammerAccounting,
+    /// Simulated hardware events of the measured loop (counter deltas).
+    pub counters: MachineCounters,
+    /// Fraction of iterations whose L1PTE loads reached DRAM.
+    pub implicit_dram_rate: f64,
+    /// Host wall-clock time of the measured loop.
+    pub wall_ns: u64,
+}
+
+/// Runs the pinned double-sided implicit-hammer microbenchmark: prepare the
+/// attack on the chosen machine, warm up, then hammer `rounds` iterations
+/// with perf counters bracketing the loop.
+///
+/// Superpages are used on the Table I machines so the one-off LLC pool
+/// preparation stays cheap (the measured loop is identical in both
+/// settings); the small test machine builds its pool quickly either way.
+pub fn hammer_microbench(
+    machine: MachineChoice,
+    scale: ExperimentScale,
+    rounds: u64,
+    seed: u64,
+) -> HammerMicrobench {
+    let superpages = machine != MachineChoice::TestSmall;
+    let mut sys = boot(
+        machine,
+        scale,
+        superpages,
+        Box::new(DefaultPolicy::new()),
+        seed,
+    );
+    let clock_hz = sys.machine().clock_hz();
+    let pid = sys.spawn_process(1000).expect("spawn");
+    let config = scale.attack_config(seed, superpages);
+    let attack = PtHammer::new(config.clone()).expect("config");
+    let prepared = attack.prepare(&mut sys, pid).expect("prepare");
+    let row_span = sys.machine().config().dram.geometry.row_span_bytes();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pair = candidate_pairs(&prepared.spray, row_span, 1, &mut rng)[0];
+    let hammer = ImplicitHammer::prepare(
+        &mut sys,
+        pid,
+        pair,
+        &prepared.tlb_pool,
+        &prepared.llc_pool,
+        config.llc_profile_trials,
+    )
+    .expect("hammer prepare");
+    hammer.hammer(&mut sys, pid, 10).expect("warm up");
+
+    let before = MachineCounters::capture(sys.machine());
+    let watch = Stopwatch::start();
+    let stats = hammer.hammer(&mut sys, pid, rounds).expect("hammer");
+    let wall_ns = watch.elapsed_ns();
+    let counters = MachineCounters::capture(sys.machine()).since(&before);
+    HammerMicrobench {
+        accounting: HammerAccounting::new(stats.rounds, stats.total_cycles, clock_hz),
+        counters,
+        implicit_dram_rate: (stats.low_dram_rate() + stats.high_dram_rate()) / 2.0,
+        wall_ns,
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Table II: end-to-end attack timings
 // ---------------------------------------------------------------------------
 
@@ -298,6 +374,12 @@ pub struct Table2Row {
     pub llc_select_ms: f64,
     /// Hammer time per attempt (milliseconds, simulated).
     pub hammer_ms: f64,
+    /// Double-sided hammer iterations actually performed (measured by the
+    /// hammer loop, reported through [`HammerAccounting`]).
+    pub hammer_iterations: u64,
+    /// Simulated cycles per hammer iteration (reported through
+    /// [`HammerAccounting`]; compare against Figure 5's flip thresholds).
+    pub cycles_per_iteration: u64,
     /// Check time per attempt (milliseconds, simulated).
     pub check_ms: f64,
     /// Simulated minutes until the first bit flip (None if none observed).
@@ -328,8 +410,18 @@ pub fn table2_run(
 }
 
 /// Converts an [`AttackOutcome`] to a Table II row.
+///
+/// Iteration counts and per-iteration costs go through
+/// [`HammerAccounting`] — the same accounting `perf_report` and the campaign
+/// harness use — so Table II can never disagree with the perf trajectory
+/// about how many iterations ran.
 pub fn table2_row_from_outcome(outcome: &AttackOutcome, clock_hz: f64) -> Table2Row {
     let s = |c: u64| c as f64 / clock_hz;
+    let hammer = HammerAccounting::new(
+        outcome.hammer_iterations,
+        outcome.hammer_cycles_total,
+        clock_hz,
+    );
     Table2Row {
         machine: outcome.machine.clone(),
         setting: outcome.page_setting.clone(),
@@ -338,6 +430,8 @@ pub fn table2_row_from_outcome(outcome: &AttackOutcome, clock_hz: f64) -> Table2
         tlb_select_us: s(outcome.timings.tlb_selection_cycles) * 1e6,
         llc_select_ms: s(outcome.timings.llc_selection_cycles) * 1e3,
         hammer_ms: s(outcome.timings.hammer_cycles_per_attempt) * 1e3,
+        hammer_iterations: hammer.iterations,
+        cycles_per_iteration: hammer.cycles_per_iteration(),
         check_ms: s(outcome.timings.check_cycles_per_attempt) * 1e3,
         time_to_flip_min: outcome.minutes_to_first_flip(),
         escalated: outcome.escalated,
@@ -749,6 +843,8 @@ mod tests {
             escalated: true,
             route: None,
             attempts: 1,
+            hammer_iterations: 1_000,
+            hammer_cycles_total: 500_000_000,
             flips_observed: 1,
             exploitable_flips: 1,
             uid_before: 1000,
@@ -768,6 +864,8 @@ mod tests {
         assert!((row.tlb_prep_ms - 1.0).abs() < 1e-9);
         assert!((row.llc_prep_s - 2.0).abs() < 1e-9);
         assert!((row.hammer_ms - 500.0).abs() < 1e-9);
+        assert_eq!(row.hammer_iterations, 1_000);
+        assert_eq!(row.cycles_per_iteration, 500_000_000 / 1_000);
         assert!((row.time_to_flip_min.unwrap() - 1.0).abs() < 1e-9);
         assert!(row.escalated);
     }

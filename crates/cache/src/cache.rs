@@ -1,10 +1,20 @@
 //! A single set-associative cache structure.
+//!
+//! The tag store is a single contiguous array indexed by `(set, way)`, with
+//! each way's tag and replacement-metadata word merged into one 16-byte
+//! [`CacheSlot`] so a set probe walks exactly one run of adjacent slots —
+//! this is the hottest data structure of the whole simulator (every simulated
+//! memory access probes three cache levels).
 
 use serde::{Deserialize, Serialize};
 
 use pthammer_types::PhysAddr;
 
-use crate::replacement::{ReplacementPolicy, SetMeta};
+use crate::replacement::{ReplacementPolicy, ReplacementState, WaySlot};
+
+/// Tag value of an empty way. Physical addresses are bounded by the DRAM
+/// capacity, so no real cache line ever produces this tag.
+const INVALID_TAG: u64 = u64::MAX;
 
 /// Result of an access to one cache structure.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -13,6 +23,38 @@ pub struct CacheAccess {
     pub hit: bool,
     /// The set that was probed.
     pub set: u32,
+}
+
+/// One way of one set: the line tag and its replacement-metadata word,
+/// adjacent in memory so a set scan touches the minimum number of host cache
+/// lines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct CacheSlot {
+    tag: u64,
+    meta: u64,
+}
+
+impl CacheSlot {
+    const EMPTY: CacheSlot = CacheSlot {
+        tag: INVALID_TAG,
+        meta: 0,
+    };
+
+    #[inline]
+    fn is_valid(&self) -> bool {
+        self.tag != INVALID_TAG
+    }
+}
+
+impl WaySlot for CacheSlot {
+    #[inline]
+    fn meta(&self) -> u64 {
+        self.meta
+    }
+    #[inline]
+    fn set_meta(&mut self, value: u64) {
+        self.meta = value;
+    }
 }
 
 /// A physically-indexed set-associative cache (or one LLC slice).
@@ -37,8 +79,13 @@ pub struct CacheAccess {
 pub struct SetAssociativeCache {
     sets: u32,
     ways: u32,
-    tags: Vec<Vec<Option<u64>>>,
-    meta: Vec<SetMeta>,
+    /// `sets - 1`; set selection is a mask because `sets` is a power of two.
+    set_mask: u64,
+    policy: ReplacementPolicy,
+    /// `sets * ways` slots, way-major within each set.
+    slots: Vec<CacheSlot>,
+    /// Per-set replacement scalars (tick / clock hand / PRNG).
+    states: Vec<ReplacementState>,
 }
 
 impl SetAssociativeCache {
@@ -53,15 +100,17 @@ impl SetAssociativeCache {
             "sets must be a power of two"
         );
         assert!(ways > 0, "ways must be non-zero");
-        let tags = vec![vec![None; ways as usize]; sets as usize];
-        let meta = (0..sets)
-            .map(|s| SetMeta::new(replacement, ways as usize, seed ^ (u64::from(s) << 17) | 1))
+        let slots = vec![CacheSlot::EMPTY; sets as usize * ways as usize];
+        let states = (0..sets)
+            .map(|s| ReplacementState::new(seed ^ (u64::from(s) << 17) | 1))
             .collect();
         Self {
             sets,
             ways,
-            tags,
-            meta,
+            set_mask: u64::from(sets) - 1,
+            policy: replacement,
+            slots,
+            states,
         }
     }
 
@@ -76,35 +125,72 @@ impl SetAssociativeCache {
     }
 
     /// Set index of a physical address.
+    #[inline]
     pub fn set_index(&self, paddr: PhysAddr) -> u32 {
-        (paddr.cache_line_index() % u64::from(self.sets)) as u32
+        (paddr.cache_line_index() & self.set_mask) as u32
     }
 
+    #[inline]
     fn line_tag(paddr: PhysAddr) -> u64 {
         paddr.cache_line_index()
     }
 
+    /// The slots of one set as a contiguous slice.
+    #[inline]
+    fn set_slots(&self, set: usize) -> &[CacheSlot] {
+        let ways = self.ways as usize;
+        &self.slots[set * ways..set * ways + ways]
+    }
+
     /// Probes for the line without updating replacement state.
+    #[inline]
     pub fn contains(&self, paddr: PhysAddr) -> bool {
         let set = self.set_index(paddr) as usize;
         let tag = Self::line_tag(paddr);
-        self.tags[set].contains(&Some(tag))
+        self.set_slots(set).iter().any(|slot| slot.tag == tag)
     }
 
     /// Looks up the line, updating replacement state on a hit.
+    #[inline(always)]
     pub fn access(&mut self, paddr: PhysAddr) -> CacheAccess {
         let set = self.set_index(paddr);
         let tag = Self::line_tag(paddr);
         let set_idx = set as usize;
-        if let Some(way) = self.tags[set_idx]
-            .iter()
-            .position(|slot| *slot == Some(tag))
-        {
-            self.meta[set_idx].on_hit(way);
+        let ways = self.ways as usize;
+        let base = set_idx * ways;
+        let slots = &mut self.slots[base..base + ways];
+        if let Some(way) = slots.iter().position(|slot| slot.tag == tag) {
+            self.policy.on_hit(slots, &mut self.states[set_idx], way);
             CacheAccess { hit: true, set }
         } else {
             CacheAccess { hit: false, set }
         }
+    }
+
+    /// Looks up the line like [`SetAssociativeCache::access`]; on a miss,
+    /// additionally reports the first empty way of the probed set (if any),
+    /// so a subsequent [`SetAssociativeCache::fill_absent_at`] of the same
+    /// line can skip re-scanning the set. The extra information falls out of
+    /// the probe scan for free.
+    #[inline(always)]
+    pub fn access_noting_empty(&mut self, paddr: PhysAddr) -> (CacheAccess, Option<u32>) {
+        let set = self.set_index(paddr);
+        let tag = Self::line_tag(paddr);
+        let set_idx = set as usize;
+        let ways = self.ways as usize;
+        let base = set_idx * ways;
+        let slots = &mut self.slots[base..base + ways];
+        let mut empty = None;
+        for (way, slot) in slots.iter().enumerate() {
+            if slot.tag == tag {
+                self.policy.on_hit(slots, &mut self.states[set_idx], way);
+                return (CacheAccess { hit: true, set }, None);
+            }
+            if empty.is_none() && !slot.is_valid() {
+                empty = Some(way as u32);
+            }
+        }
+        (CacheAccess { hit: false, set }, empty)
     }
 
     /// Inserts the line, returning the physical line address it displaced (if
@@ -113,19 +199,58 @@ impl SetAssociativeCache {
     pub fn fill(&mut self, paddr: PhysAddr) -> Option<PhysAddr> {
         let set = self.set_index(paddr) as usize;
         let tag = Self::line_tag(paddr);
-        if let Some(way) = self.tags[set].iter().position(|slot| *slot == Some(tag)) {
-            self.meta[set].on_hit(way);
+        let ways = self.ways as usize;
+        let base = set * ways;
+        let slots = &mut self.slots[base..base + ways];
+        if let Some(way) = slots.iter().position(|slot| slot.tag == tag) {
+            self.policy.on_hit(slots, &mut self.states[set], way);
             return None;
         }
-        if let Some(way) = self.tags[set].iter().position(Option::is_none) {
-            self.tags[set][way] = Some(tag);
-            self.meta[set].on_fill(way);
+        self.fill_absent(paddr)
+    }
+
+    /// Inserts a line that is known to be absent from this structure (e.g.
+    /// because a lookup just missed), skipping the presence scan of
+    /// [`SetAssociativeCache::fill`]. Returns the displaced line, if any.
+    ///
+    /// Calling this for a line that *is* present would duplicate the line;
+    /// debug builds assert against that.
+    #[inline]
+    pub fn fill_absent(&mut self, paddr: PhysAddr) -> Option<PhysAddr> {
+        let set = self.set_index(paddr) as usize;
+        let ways = self.ways as usize;
+        let empty = self.slots[set * ways..set * ways + ways]
+            .iter()
+            .position(|slot| !slot.is_valid())
+            .map(|w| w as u32);
+        self.fill_absent_at(paddr, empty)
+    }
+
+    /// Inserts an absent line whose destination set was already scanned by
+    /// [`SetAssociativeCache::access_noting_empty`]: `empty_way` is that
+    /// probe's result, so no way scan runs at all. The set must not have
+    /// been touched in between.
+    #[inline(always)]
+    pub fn fill_absent_at(&mut self, paddr: PhysAddr, empty_way: Option<u32>) -> Option<PhysAddr> {
+        debug_assert!(!self.contains(paddr), "fill_absent on a present line");
+        debug_assert_ne!(Self::line_tag(paddr), INVALID_TAG, "unrepresentable tag");
+        let set = self.set_index(paddr) as usize;
+        let tag = Self::line_tag(paddr);
+        let ways = self.ways as usize;
+        let base = set * ways;
+        let slots = &mut self.slots[base..base + ways];
+        let state = &mut self.states[set];
+        if let Some(way) = empty_way {
+            let way = way as usize;
+            debug_assert!(!slots[way].is_valid(), "hinted way is occupied");
+            slots[way].tag = tag;
+            self.policy.on_fill(slots, state, way);
             return None;
         }
-        let victim_way = self.meta[set].choose_victim(self.ways as usize);
-        let victim_tag = self.tags[set][victim_way].expect("occupied way");
-        self.tags[set][victim_way] = Some(tag);
-        self.meta[set].on_fill(victim_way);
+        let victim_way = self.policy.choose_victim(slots, state);
+        let victim_tag = slots[victim_way].tag;
+        slots[victim_way].tag = tag;
+        self.policy.on_fill(slots, state, victim_way);
         Some(PhysAddr::new(victim_tag * 64))
     }
 
@@ -133,9 +258,12 @@ impl SetAssociativeCache {
     pub fn invalidate(&mut self, paddr: PhysAddr) -> bool {
         let set = self.set_index(paddr) as usize;
         let tag = Self::line_tag(paddr);
-        if let Some(way) = self.tags[set].iter().position(|slot| *slot == Some(tag)) {
-            self.tags[set][way] = None;
-            self.meta[set].on_invalidate(way);
+        let ways = self.ways as usize;
+        let base = set * ways;
+        let slots = &mut self.slots[base..base + ways];
+        if let Some(way) = slots.iter().position(|slot| slot.tag == tag) {
+            slots[way].tag = INVALID_TAG;
+            self.policy.on_invalidate(slots, way);
             true
         } else {
             false
@@ -144,18 +272,16 @@ impl SetAssociativeCache {
 
     /// Invalidates every line (e.g. `wbinvd`).
     pub fn invalidate_all(&mut self) {
-        for set in &mut self.tags {
-            for slot in set {
-                *slot = None;
-            }
+        for slot in &mut self.slots {
+            slot.tag = INVALID_TAG;
         }
     }
 
     /// Number of valid lines currently held in the given set.
     pub fn occupancy(&self, set: u32) -> usize {
-        self.tags[set as usize]
+        self.set_slots(set as usize)
             .iter()
-            .filter(|s| s.is_some())
+            .filter(|s| s.is_valid())
             .count()
     }
 }
@@ -213,6 +339,21 @@ mod tests {
         c.fill(b);
         assert_eq!(c.fill(a), None);
         assert_eq!(c.occupancy(5), 2);
+    }
+
+    #[test]
+    fn fill_absent_matches_fill_for_missing_lines() {
+        let mut via_fill = SetAssociativeCache::new(8, 2, ReplacementPolicy::Srrip, 5);
+        let mut via_absent = SetAssociativeCache::new(8, 2, ReplacementPolicy::Srrip, 5);
+        for n in 0..12u64 {
+            let a = addr_in_set(&via_fill, 2, n);
+            assert!(!via_fill.contains(a));
+            assert_eq!(via_fill.fill(a), via_absent.fill_absent(a));
+        }
+        for n in 0..12u64 {
+            let a = addr_in_set(&via_fill, 2, n);
+            assert_eq!(via_fill.contains(a), via_absent.contains(a));
+        }
     }
 
     #[test]

@@ -8,6 +8,23 @@ use crate::{
     cache::SetAssociativeCache, config::CacheHierarchyConfig, pmc::CachePmc, slice::SliceHasher,
 };
 
+/// Fill placement captured during a [`CacheHierarchy::access_planning_fill`]
+/// probe: the LLC slice of the address and, per level, the first empty way
+/// of the probed set (if any). Lets the post-DRAM fill skip every way
+/// re-scan. Only meaningful for the exact probed line, with the hierarchy
+/// untouched in between.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FillPlan {
+    /// LLC slice of the probed address.
+    pub slice: u32,
+    /// First empty way of the probed L1 set, if the L1 probe missed.
+    pub l1_empty: Option<u32>,
+    /// First empty way of the probed L2 set, if the L2 probe missed.
+    pub l2_empty: Option<u32>,
+    /// First empty way of the probed LLC set, if the LLC probe missed.
+    pub llc_empty: Option<u32>,
+}
+
 /// Result of a lookup through the hierarchy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HierarchyAccess {
@@ -120,8 +137,9 @@ impl CacheHierarchy {
 
         latency += u64::from(self.config.l2.latency);
         if self.l2.access(paddr).hit {
-            // Promote into L1 (non-inclusive victim handling is ignored for timing).
-            self.l1d.fill(paddr);
+            // Promote into L1 (non-inclusive victim handling is ignored for
+            // timing); the L1 probe above just missed, so the line is absent.
+            self.l1d.fill_absent(paddr);
             return HierarchyAccess {
                 hit_level: Some(MemoryLevel::L2),
                 latency: Cycles::new(latency),
@@ -133,8 +151,8 @@ impl CacheHierarchy {
         self.pmc.llc_accesses += 1;
         let slice = self.hasher.slice_of(paddr) as usize;
         if self.llc[slice].access(paddr).hit {
-            self.l2.fill(paddr);
-            self.l1d.fill(paddr);
+            self.l2.fill_absent(paddr);
+            self.l1d.fill_absent(paddr);
             return HierarchyAccess {
                 hit_level: Some(MemoryLevel::Llc),
                 latency: Cycles::new(latency),
@@ -144,6 +162,88 @@ impl CacheHierarchy {
         HierarchyAccess {
             hit_level: None,
             latency: Cycles::new(latency),
+        }
+    }
+
+    /// Like [`CacheHierarchy::access`], additionally returning a [`FillPlan`]
+    /// that a subsequent [`CacheHierarchy::fill_with_plan`] of the same line
+    /// can use to skip every way re-scan and the slice-hash recomputation.
+    /// The plan is only valid while the hierarchy is untouched in between —
+    /// the memory subsystem's miss path (probe → DRAM → fill) guarantees
+    /// that.
+    #[inline]
+    pub fn access_planning_fill(&mut self, paddr: PhysAddr) -> (HierarchyAccess, FillPlan) {
+        let mut plan = FillPlan::default();
+        let mut latency = u64::from(self.config.l1d.latency);
+        self.pmc.l1_accesses += 1;
+        let (l1, l1_empty) = self.l1d.access_noting_empty(paddr);
+        if l1.hit {
+            return (
+                HierarchyAccess {
+                    hit_level: Some(MemoryLevel::L1),
+                    latency: Cycles::new(latency),
+                },
+                plan,
+            );
+        }
+        plan.l1_empty = l1_empty;
+        self.pmc.l1_misses += 1;
+
+        latency += u64::from(self.config.l2.latency);
+        let (l2, l2_empty) = self.l2.access_noting_empty(paddr);
+        if l2.hit {
+            // Promote into L1 (non-inclusive victim handling is ignored for
+            // timing); the L1 probe above just missed, so the line is absent.
+            self.l1d.fill_absent_at(paddr, plan.l1_empty);
+            return (
+                HierarchyAccess {
+                    hit_level: Some(MemoryLevel::L2),
+                    latency: Cycles::new(latency),
+                },
+                plan,
+            );
+        }
+        plan.l2_empty = l2_empty;
+        self.pmc.l2_misses += 1;
+
+        latency += u64::from(self.config.llc.latency);
+        self.pmc.llc_accesses += 1;
+        let slice = self.hasher.slice_of(paddr);
+        plan.slice = slice;
+        let (llc, llc_empty) = self.llc[slice as usize].access_noting_empty(paddr);
+        if llc.hit {
+            self.l2.fill_absent_at(paddr, plan.l2_empty);
+            self.l1d.fill_absent_at(paddr, plan.l1_empty);
+            return (
+                HierarchyAccess {
+                    hit_level: Some(MemoryLevel::Llc),
+                    latency: Cycles::new(latency),
+                },
+                plan,
+            );
+        }
+        plan.llc_empty = llc_empty;
+        self.pmc.llc_misses += 1;
+        (
+            HierarchyAccess {
+                hit_level: None,
+                latency: Cycles::new(latency),
+            },
+            plan,
+        )
+    }
+
+    /// Looks up a sequence of lines back-to-back, appending one
+    /// [`HierarchyAccess`] per address to `results`.
+    ///
+    /// This is the batched lookup the memory subsystem and the attack's
+    /// eviction-set traversal drive instead of per-address calls; it performs
+    /// exactly the same lookups, replacement updates and counter increments
+    /// as calling [`CacheHierarchy::access`] once per address, in order.
+    pub fn access_batch(&mut self, paddrs: &[PhysAddr], results: &mut Vec<HierarchyAccess>) {
+        results.reserve(paddrs.len());
+        for &paddr in paddrs {
+            results.push(self.access(paddr));
         }
     }
 
@@ -174,6 +274,55 @@ impl CacheHierarchy {
         }
         self.l2.fill(paddr);
         self.l1d.fill(paddr);
+    }
+
+    /// Inserts a line that a lookup just missed at *every* level, skipping
+    /// the per-level presence scans of [`CacheHierarchy::fill`]. Same
+    /// inclusive back-invalidation semantics; this is the hot path the memory
+    /// subsystem takes after fetching a missed line from DRAM.
+    #[inline]
+    pub fn fill_after_miss(&mut self, paddr: PhysAddr) {
+        let slice = self.hasher.slice_of(paddr) as usize;
+        if let Some(victim) = self.llc[slice].fill_absent(paddr) {
+            if self.config.llc.inclusive {
+                self.l1d.invalidate(victim);
+                self.l2.invalidate(victim);
+            }
+        }
+        self.l2.fill_absent(paddr);
+        self.l1d.fill_absent(paddr);
+    }
+
+    /// Inserts a fully missed line using the [`FillPlan`] captured by
+    /// [`CacheHierarchy::access_planning_fill`]: the per-level empty-way
+    /// hints and the cached slice index make this a scan-free fill in the
+    /// common case. Behavior is identical to [`CacheHierarchy::fill_after_miss`].
+    #[inline]
+    pub fn fill_with_plan(&mut self, paddr: PhysAddr, plan: FillPlan) {
+        // If the inclusive back-invalidation frees a way in the very L1/L2
+        // set `paddr` is about to fill, the recorded empty-way hints are
+        // stale — fall back to the scanning fill for that level so the fill
+        // lands in the first empty way, exactly as the plan-free path would.
+        let mut l1_stale = false;
+        let mut l2_stale = false;
+        if let Some(victim) = self.llc[plan.slice as usize].fill_absent_at(paddr, plan.llc_empty) {
+            if self.config.llc.inclusive {
+                l1_stale = self.l1d.invalidate(victim)
+                    && self.l1d.set_index(victim) == self.l1d.set_index(paddr);
+                l2_stale = self.l2.invalidate(victim)
+                    && self.l2.set_index(victim) == self.l2.set_index(paddr);
+            }
+        }
+        if l2_stale {
+            self.l2.fill_absent(paddr);
+        } else {
+            self.l2.fill_absent_at(paddr, plan.l2_empty);
+        }
+        if l1_stale {
+            self.l1d.fill_absent(paddr);
+        } else {
+            self.l1d.fill_absent_at(paddr, plan.l1_empty);
+        }
     }
 
     /// Flushes the line from every level (models `clflush`).

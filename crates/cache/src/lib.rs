@@ -35,7 +35,7 @@ mod slice;
 
 pub use cache::{CacheAccess, SetAssociativeCache};
 pub use config::{CacheHierarchyConfig, CacheLevelConfig, LlcConfig};
-pub use hierarchy::{CacheHierarchy, HierarchyAccess};
+pub use hierarchy::{CacheHierarchy, FillPlan, HierarchyAccess};
 pub use pmc::CachePmc;
-pub use replacement::{ReplacementPolicy, SetMeta};
+pub use replacement::{ReplacementPolicy, ReplacementState, SetMeta, WaySlot};
 pub use slice::SliceHasher;

@@ -6,6 +6,12 @@
 //! thrash itself completely. [`ReplacementPolicy::Srrip`] reproduces both
 //! effects and is the default for the LLC; the other policies are provided for
 //! ablation studies.
+//!
+//! The policy logic operates on *flat* per-way metadata through the
+//! [`WaySlot`] trait so that cache and TLB structures can keep each way's tag
+//! and replacement word together in one contiguous, cache-line-friendly
+//! array (the hot-path layout) while [`SetMeta`] remains available as the
+//! boxed per-set wrapper the original API exposed.
 
 use serde::{Deserialize, Serialize};
 
@@ -26,38 +32,54 @@ pub enum ReplacementPolicy {
     Bip,
 }
 
-/// Per-set replacement metadata.
-///
-/// One `SetMeta` instance accompanies every cache/TLB set and is consulted to
-/// choose victims and updated on hits and fills.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct SetMeta {
-    policy: ReplacementPolicy,
-    /// Per-way age / RRPV / used-bit, meaning depends on the policy.
-    meta: Vec<u64>,
-    /// Monotonic counter for LRU timestamps.
-    tick: u64,
-    /// Clock hand for NRU.
-    hand: usize,
-    /// Deterministic PRNG state for Random / BIP decisions.
-    rng_state: u64,
-}
-
 const SRRIP_MAX: u64 = 3;
 const SRRIP_INSERT: u64 = 2;
 
-impl SetMeta {
-    /// Creates replacement metadata for a set with `ways` ways.
-    pub fn new(policy: ReplacementPolicy, ways: usize, seed: u64) -> Self {
+/// One way of a set exposing its replacement-metadata word.
+///
+/// Implemented by the flattened cache/TLB slot types (which store the tag or
+/// entry next to the metadata word) and by bare `u64` words (the [`SetMeta`]
+/// representation).
+pub trait WaySlot {
+    /// The replacement-metadata word (age / RRPV / used-bit, meaning depends
+    /// on the policy).
+    fn meta(&self) -> u64;
+    /// Overwrites the replacement-metadata word.
+    fn set_meta(&mut self, value: u64);
+}
+
+impl WaySlot for u64 {
+    #[inline]
+    fn meta(&self) -> u64 {
+        *self
+    }
+    #[inline]
+    fn set_meta(&mut self, value: u64) {
+        *self = value;
+    }
+}
+
+/// The policy-independent per-set scalars: the LRU tick, the NRU clock hand
+/// and the deterministic PRNG state for Random / BIP decisions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReplacementState {
+    tick: u64,
+    hand: usize,
+    rng_state: u64,
+}
+
+impl ReplacementState {
+    /// Creates the per-set state from a seed (the low bit is forced so the
+    /// xorshift stream never starts at zero).
+    pub fn new(seed: u64) -> Self {
         Self {
-            policy,
-            meta: vec![0; ways],
             tick: 0,
             hand: 0,
             rng_state: seed | 1,
         }
     }
 
+    #[inline]
     fn next_rand(&mut self) -> u64 {
         // xorshift64*
         let mut x = self.rng_state;
@@ -67,85 +89,154 @@ impl SetMeta {
         self.rng_state = x;
         x.wrapping_mul(0x2545_F491_4F6C_DD1D)
     }
+}
 
-    /// Records a hit on `way`.
-    pub fn on_hit(&mut self, way: usize) {
-        self.tick += 1;
-        match self.policy {
-            ReplacementPolicy::Lru | ReplacementPolicy::Bip => self.meta[way] = self.tick,
-            ReplacementPolicy::Srrip => self.meta[way] = 0,
-            ReplacementPolicy::Nru => self.meta[way] = 1,
+impl ReplacementPolicy {
+    /// Records a hit on `way` of a set.
+    #[inline(always)]
+    pub fn on_hit<S: WaySlot>(self, ways: &mut [S], state: &mut ReplacementState, way: usize) {
+        state.tick += 1;
+        match self {
+            ReplacementPolicy::Lru | ReplacementPolicy::Bip => ways[way].set_meta(state.tick),
+            ReplacementPolicy::Srrip => ways[way].set_meta(0),
+            ReplacementPolicy::Nru => ways[way].set_meta(1),
             ReplacementPolicy::Random => {}
         }
     }
 
-    /// Records a fill into `way`.
-    pub fn on_fill(&mut self, way: usize) {
-        self.tick += 1;
-        match self.policy {
-            ReplacementPolicy::Lru => self.meta[way] = self.tick,
+    /// Records a fill into `way` of a set.
+    #[inline(always)]
+    pub fn on_fill<S: WaySlot>(self, ways: &mut [S], state: &mut ReplacementState, way: usize) {
+        state.tick += 1;
+        match self {
+            ReplacementPolicy::Lru => ways[way].set_meta(state.tick),
             ReplacementPolicy::Bip => {
                 // Mostly insert as LRU (old timestamp); occasionally as MRU.
-                if self.next_rand().is_multiple_of(32) {
-                    self.meta[way] = self.tick;
+                if state.next_rand().is_multiple_of(32) {
+                    ways[way].set_meta(state.tick);
                 } else {
-                    self.meta[way] = self.tick.saturating_sub(1_000_000);
+                    ways[way].set_meta(state.tick.saturating_sub(1_000_000));
                 }
             }
-            ReplacementPolicy::Srrip => self.meta[way] = SRRIP_INSERT,
-            ReplacementPolicy::Nru => self.meta[way] = 1,
+            ReplacementPolicy::Srrip => ways[way].set_meta(SRRIP_INSERT),
+            ReplacementPolicy::Nru => ways[way].set_meta(1),
             ReplacementPolicy::Random => {}
         }
     }
 
     /// Chooses a victim way among the occupied ways (callers fill invalid
     /// ways first, so every way is occupied when this is called).
-    pub fn choose_victim(&mut self, ways: usize) -> usize {
-        debug_assert_eq!(ways, self.meta.len());
-        match self.policy {
-            ReplacementPolicy::Lru | ReplacementPolicy::Bip => self
-                .meta
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, &age)| age)
-                .map(|(i, _)| i)
-                .unwrap_or(0),
-            ReplacementPolicy::Srrip => {
-                // Age everyone until someone reaches SRRIP_MAX, then pick the
-                // first such way.
-                loop {
-                    if let Some(way) = self.meta.iter().position(|&v| v >= SRRIP_MAX) {
-                        return way;
-                    }
-                    for v in &mut self.meta {
-                        *v += 1;
+    #[inline]
+    pub fn choose_victim<S: WaySlot>(self, ways: &mut [S], state: &mut ReplacementState) -> usize {
+        let count = ways.len();
+        match self {
+            ReplacementPolicy::Lru | ReplacementPolicy::Bip => {
+                let mut victim = 0;
+                let mut best = u64::MAX;
+                for (i, slot) in ways.iter().enumerate() {
+                    let age = slot.meta();
+                    if age < best {
+                        best = age;
+                        victim = i;
                     }
                 }
+                victim
+            }
+            ReplacementPolicy::Srrip => {
+                // Age everyone until someone reaches SRRIP_MAX, then pick the
+                // first such way. Equivalent single pass: every way ages by
+                // the same deficit (SRRIP_MAX minus the current maximum RRPV,
+                // when positive), which preserves relative order, and the
+                // victim is the first way holding the maximum.
+                let mut victim = 0;
+                let mut max = 0;
+                for (i, slot) in ways.iter().enumerate() {
+                    let v = slot.meta();
+                    if v > max {
+                        max = v;
+                        victim = i;
+                    }
+                }
+                if max < SRRIP_MAX {
+                    let deficit = SRRIP_MAX - max;
+                    for slot in ways.iter_mut() {
+                        slot.set_meta(slot.meta() + deficit);
+                    }
+                }
+                victim
             }
             ReplacementPolicy::Nru => {
                 // Rotating clock: first way (from the hand) with used bit 0;
                 // clear used bits if all are set.
                 for _ in 0..2 {
-                    for offset in 0..ways {
-                        let idx = (self.hand + offset) % ways;
-                        if self.meta[idx] == 0 {
-                            self.hand = (idx + 1) % ways;
+                    for offset in 0..count {
+                        let idx = (state.hand + offset) % count;
+                        if ways[idx].meta() == 0 {
+                            state.hand = (idx + 1) % count;
                             return idx;
                         }
                     }
-                    for v in &mut self.meta {
-                        *v = 0;
+                    for slot in ways.iter_mut() {
+                        slot.set_meta(0);
                     }
                 }
-                self.hand
+                state.hand
             }
-            ReplacementPolicy::Random => (self.next_rand() % ways as u64) as usize,
+            ReplacementPolicy::Random => (state.next_rand() % count as u64) as usize,
         }
     }
 
     /// Clears metadata for `way` (used when a line is invalidated).
+    #[inline]
+    pub fn on_invalidate<S: WaySlot>(self, ways: &mut [S], way: usize) {
+        ways[way].set_meta(0);
+    }
+}
+
+/// Per-set replacement metadata as a standalone object.
+///
+/// The flattened cache and TLB structures keep their metadata inline in their
+/// way arrays; `SetMeta` remains for callers that want one self-contained
+/// per-set object, delegating to the same policy engine.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SetMeta {
+    policy: ReplacementPolicy,
+    /// Per-way age / RRPV / used-bit, meaning depends on the policy.
+    meta: Vec<u64>,
+    /// The per-set scalars (tick, clock hand, PRNG state).
+    state: ReplacementState,
+}
+
+impl SetMeta {
+    /// Creates replacement metadata for a set with `ways` ways.
+    pub fn new(policy: ReplacementPolicy, ways: usize, seed: u64) -> Self {
+        Self {
+            policy,
+            meta: vec![0; ways],
+            state: ReplacementState::new(seed),
+        }
+    }
+
+    /// Records a hit on `way`.
+    pub fn on_hit(&mut self, way: usize) {
+        self.policy.on_hit(&mut self.meta, &mut self.state, way);
+    }
+
+    /// Records a fill into `way`.
+    pub fn on_fill(&mut self, way: usize) {
+        self.policy.on_fill(&mut self.meta, &mut self.state, way);
+    }
+
+    /// Chooses a victim way among the occupied ways (callers fill invalid
+    /// ways first, so every way is occupied when this is called).
+    pub fn choose_victim(&mut self, ways: usize) -> usize {
+        debug_assert_eq!(ways, self.meta.len());
+        self.policy.choose_victim(&mut self.meta, &mut self.state)
+    }
+
+    /// Clears metadata for `way` (used when a line is invalidated).
     pub fn on_invalidate(&mut self, way: usize) {
-        self.meta[way] = 0;
+        self.policy.on_invalidate(&mut self.meta, way);
     }
 
     /// The policy of this set.
@@ -243,5 +334,54 @@ mod tests {
     #[test]
     fn default_policy_is_lru() {
         assert_eq!(ReplacementPolicy::default(), ReplacementPolicy::Lru);
+    }
+
+    /// The flat policy engine over merged slots and the boxed [`SetMeta`]
+    /// wrapper must make identical decisions from identical seeds.
+    #[test]
+    fn flat_engine_matches_set_meta_wrapper() {
+        #[derive(Clone, Copy)]
+        struct Slot {
+            meta: u64,
+        }
+        impl WaySlot for Slot {
+            fn meta(&self) -> u64 {
+                self.meta
+            }
+            fn set_meta(&mut self, value: u64) {
+                self.meta = value;
+            }
+        }
+        for policy in [
+            ReplacementPolicy::Lru,
+            ReplacementPolicy::Srrip,
+            ReplacementPolicy::Nru,
+            ReplacementPolicy::Random,
+            ReplacementPolicy::Bip,
+        ] {
+            let seed = 0xA5A5;
+            let mut wrapper = SetMeta::new(policy, 8, seed);
+            let mut slots = vec![Slot { meta: 0 }; 8];
+            let mut state = ReplacementState::new(seed);
+            for step in 0..200usize {
+                match step % 3 {
+                    0 => {
+                        let way = step % 8;
+                        wrapper.on_fill(way);
+                        policy.on_fill(&mut slots, &mut state, way);
+                    }
+                    1 => {
+                        let way = (step * 5) % 8;
+                        wrapper.on_hit(way);
+                        policy.on_hit(&mut slots, &mut state, way);
+                    }
+                    _ => {
+                        let a = wrapper.choose_victim(8);
+                        let b = policy.choose_victim(&mut slots, &mut state);
+                        assert_eq!(a, b, "{policy:?} diverged at step {step}");
+                    }
+                }
+            }
+        }
     }
 }

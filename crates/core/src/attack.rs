@@ -108,6 +108,7 @@ impl PtHammer {
         };
 
         let mut attempts = 0usize;
+        let mut hammer_iterations = 0u64;
         let mut flips_observed = 0usize;
         let mut exploitable_flips = 0usize;
         let mut hammer_cycles_total = 0u64;
@@ -174,6 +175,7 @@ impl PtHammer {
                 // Double-sided implicit hammering.
                 let stats = hammer.hammer(sys, pid, self.config.hammer_rounds_per_attempt)?;
                 hammer_cycles_total += stats.total_cycles;
+                hammer_iterations += stats.rounds;
                 dram_hits += stats.low_dram_hits + stats.high_dram_hits;
                 dram_rounds += 2 * stats.rounds;
                 if hammer_cycle_samples.len() < 50 {
@@ -223,6 +225,8 @@ impl PtHammer {
             escalated,
             route,
             attempts,
+            hammer_iterations,
+            hammer_cycles_total,
             flips_observed,
             exploitable_flips,
             uid_before,

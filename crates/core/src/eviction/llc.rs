@@ -69,9 +69,7 @@ pub fn traverse_eviction_lines(
     pid: Pid,
     lines: &[VirtAddr],
 ) -> Result<(), AttackError> {
-    sys.access_batch(pid, lines)?;
-    sys.access_batch(pid, lines)?;
-    sys.access_batch(pid, lines)?;
+    sys.access_batch_passes(pid, lines, 3)?;
     Ok(())
 }
 

@@ -127,8 +127,8 @@ impl ImplicitHammer {
         self.llc_low.evict(sys, pid)?;
         self.llc_high.evict(sys, pid)?;
         // Touch the targets: the walks implicitly access the aggressor rows.
-        let low = sys.access(pid, self.pair.low)?;
-        let high = sys.access(pid, self.pair.high)?;
+        let low = sys.touch(pid, self.pair.low)?;
+        let high = sys.touch(pid, self.pair.high)?;
         Ok((
             sys.rdtsc() - start,
             low.l1pte_from_dram,

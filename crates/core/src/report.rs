@@ -51,6 +51,14 @@ pub struct AttackOutcome {
     pub route: Option<EscalationRoute>,
     /// Hammer attempts (pairs hammered).
     pub attempts: usize,
+    /// Double-sided hammer iterations actually performed across all attempts
+    /// (measured by the hammer loop — the single source of truth for
+    /// iteration counts; perf reports must not re-derive this from
+    /// configuration).
+    pub hammer_iterations: u64,
+    /// Total simulated cycles those iterations took (exact sum, unlike the
+    /// integer-divided per-attempt average in [`StageTimings`]).
+    pub hammer_cycles_total: u64,
     /// Bit-flip findings observed across all attempts (including
     /// unexploitable ones).
     pub flips_observed: usize,
@@ -102,6 +110,8 @@ mod tests {
             escalated: true,
             route: Some(EscalationRoute::PageTableTakeover { escalated_pid: 1 }),
             attempts: 3,
+            hammer_iterations: 4_500,
+            hammer_cycles_total: 9_000_000,
             flips_observed: 2,
             exploitable_flips: 1,
             uid_before: 1000,

@@ -1,11 +1,9 @@
 //! Per-bank DRAM state: row buffer, activation bookkeeping and disturbance
 //! accumulation within refresh windows.
 
-use std::collections::{HashMap, HashSet};
-
 use serde::{Deserialize, Serialize};
 
-use pthammer_types::Cycles;
+use pthammer_types::{Cycles, DetHashSet};
 
 use crate::{
     row_buffer::{RowBuffer, RowBufferOutcome, RowBufferPolicy},
@@ -40,12 +38,18 @@ pub struct Bank {
     rows: u32,
     row_buffer: RowBuffer,
     window_start: Cycles,
-    /// Aggressor-row activation counts within the current refresh window.
-    activations: HashMap<u32, u32>,
-    /// Victim-row disturbance (sum of adjacent activations) within the window.
-    disturbance: HashMap<u32, u32>,
+    /// Aggressor-row activation counts within the current refresh window,
+    /// dense per row. Two to three row-state probes run per activation on
+    /// the hammer loop's hot path, so this is a flat array (index = row)
+    /// rather than a map.
+    activations: Vec<u32>,
+    /// Victim-row disturbance (sum of adjacent activations) within the
+    /// window, dense per row like `activations`.
+    disturbance: Vec<u32>,
     /// Weak cells that already fired this window (avoid duplicate events).
-    emitted: HashSet<(u32, u32)>,
+    /// Only consulted once a victim crosses the profile's minimum threshold,
+    /// so a (fast-hashed) set is fine here.
+    emitted: DetHashSet<(u32, u32)>,
     #[serde(skip)]
     trr_sampler: TrrSampler,
 }
@@ -58,9 +62,9 @@ impl Bank {
             rows,
             row_buffer: RowBuffer::new(),
             window_start: Cycles::ZERO,
-            activations: HashMap::new(),
-            disturbance: HashMap::new(),
-            emitted: HashSet::new(),
+            activations: vec![0; rows as usize],
+            disturbance: vec![0; rows as usize],
+            emitted: DetHashSet::default(),
             trr_sampler: TrrSampler::default(),
         }
     }
@@ -72,12 +76,12 @@ impl Bank {
 
     /// Current disturbance accumulated by `row` in this refresh window.
     pub fn disturbance_of(&self, row: u32) -> u32 {
-        self.disturbance.get(&row).copied().unwrap_or(0)
+        self.disturbance.get(row as usize).copied().unwrap_or(0)
     }
 
     /// Current activation count of `row` in this refresh window.
     pub fn activations_of(&self, row: u32) -> u32 {
-        self.activations.get(&row).copied().unwrap_or(0)
+        self.activations.get(row as usize).copied().unwrap_or(0)
     }
 
     /// Handles a refresh-window rollover if `now` is past the window end.
@@ -90,8 +94,8 @@ impl Bank {
         }
         let windows = elapsed / window;
         self.window_start = Cycles::new(self.window_start.as_u64() + windows * window);
-        self.activations.clear();
-        self.disturbance.clear();
+        self.activations.fill(0);
+        self.disturbance.fill(0);
         self.emitted.clear();
         self.trr_sampler.reset();
         // A refresh closes any open row.
@@ -100,6 +104,7 @@ impl Bank {
     }
 
     /// Performs an access to `row` at time `now`.
+    #[inline]
     #[allow(clippy::too_many_arguments)]
     pub fn access(
         &mut self,
@@ -116,24 +121,30 @@ impl Bank {
         let mut trr_fired = false;
 
         if outcome.activated() {
-            *self.activations.entry(row).or_insert(0) += 1;
+            self.activations[row as usize] += 1;
 
             if let Some(aggressor) = self.trr_sampler.record(row, trr) {
                 trr_fired = true;
                 // Targeted refresh of the aggressor's neighbours clears their
                 // accumulated disturbance.
                 if aggressor > 0 {
-                    self.disturbance.remove(&(aggressor - 1));
+                    self.disturbance[(aggressor - 1) as usize] = 0;
                 }
                 if aggressor + 1 < self.rows {
-                    self.disturbance.remove(&(aggressor + 1));
+                    self.disturbance[(aggressor + 1) as usize] = 0;
                 }
             }
 
             for victim in neighbours(row, self.rows) {
-                let d = self.disturbance.entry(victim).or_insert(0);
+                let d = &mut self.disturbance[victim as usize];
                 *d += 1;
                 let disturbance = *d;
+                // No weak cell's threshold is below the profile minimum, so
+                // the (comparatively expensive) weak-cell derivation can be
+                // skipped until the victim's disturbance reaches it.
+                if disturbance < flip_model.profile().min_threshold {
+                    continue;
+                }
                 for (idx, cell) in flip_model
                     .weak_cells(self.unit_id, victim)
                     .iter()

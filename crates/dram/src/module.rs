@@ -108,6 +108,7 @@ impl DramModule {
     /// # Panics
     ///
     /// Panics if `paddr` is beyond the module capacity.
+    #[inline]
     pub fn access(&mut self, paddr: PhysAddr, now: Cycles) -> DramAccessOutcome {
         assert!(
             paddr.as_u64() < self.config.geometry.capacity_bytes(),

@@ -3,6 +3,7 @@
 use pthammer::{AttackConfig, PtHammer};
 use pthammer_defenses::DefenseChoice;
 use pthammer_kernel::KernelConfig;
+use pthammer_perf::MachineCounters;
 use rayon::prelude::*;
 use rayon::ThreadPoolBuilder;
 use serde::{Deserialize, Serialize};
@@ -138,6 +139,34 @@ impl CampaignConfig {
     }
 }
 
+/// Deterministic perf accounting of one campaign cell (or, after
+/// [`CellPerf::absorb`], of a whole campaign): the simulated-hardware
+/// counters plus the measured hammer-iteration count.
+///
+/// The iteration count comes from
+/// [`AttackOutcome::hammer_iterations`](pthammer::AttackOutcome) — the
+/// hammer loop's own tally — so every consumer (perf reports, repro
+/// binaries, this harness) reports the same number instead of re-deriving
+/// it from configuration.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct CellPerf {
+    /// Simulated hardware counters accumulated by the cell's machine.
+    pub counters: MachineCounters,
+    /// Double-sided hammer iterations the attack actually performed.
+    pub hammer_iterations: u64,
+    /// Total simulated cycles the cell consumed.
+    pub sim_cycles: u64,
+}
+
+impl CellPerf {
+    /// Sums another cell's accounting into this one (campaign aggregation).
+    pub fn absorb(&mut self, other: &CellPerf) {
+        self.counters.absorb(&other.counters);
+        self.hammer_iterations += other.hammer_iterations;
+        self.sim_cycles += other.sim_cycles;
+    }
+}
+
 /// Runs a single campaign cell to completion.
 ///
 /// The cell is fully self-contained: it boots its own defended system from
@@ -145,6 +174,14 @@ impl CampaignConfig {
 /// one golden-snapshot row) gives exactly the result the full matrix run
 /// records.
 pub fn run_cell(coord: &CellCoord, config: &CampaignConfig) -> CellReport {
+    run_cell_instrumented(coord, config).0
+}
+
+/// Like [`run_cell`], additionally returning the cell's deterministic perf
+/// accounting ([`CellPerf`]). The [`CellReport`] is byte-identical to the
+/// uninstrumented run — instrumentation only reads counters the simulated
+/// machine maintains anyway.
+pub fn run_cell_instrumented(coord: &CellCoord, config: &CampaignConfig) -> (CellReport, CellPerf) {
     let seed = cell_seed(config.base_seed, coord);
     let mut report = CellReport {
         machine: coord.machine.name().to_string(),
@@ -184,6 +221,7 @@ pub fn run_cell(coord: &CellCoord, config: &CampaignConfig) -> CellReport {
         attack.run(&mut sys, pid).map_err(|e| e.to_string())
     })();
 
+    let mut hammer_iterations = 0u64;
     match outcome {
         Ok(outcome) => {
             report.escalated = outcome.escalated;
@@ -194,10 +232,16 @@ pub fn run_cell(coord: &CellCoord, config: &CampaignConfig) -> CellReport {
             report.seconds_to_first_flip = outcome.seconds_to_first_flip();
             report.seconds_to_escalation = outcome.seconds_to_escalation();
             report.route = outcome.route.map(|r| format!("{r:?}"));
+            hammer_iterations = outcome.hammer_iterations;
         }
         Err(err) => report.error = Some(err),
     }
-    report
+    let perf = CellPerf {
+        counters: MachineCounters::capture(sys.machine()),
+        hammer_iterations,
+        sim_cycles: sys.rdtsc(),
+    };
+    (report, perf)
 }
 
 /// Runs every cell of `matrix` on a worker pool and aggregates the results.
@@ -211,6 +255,18 @@ pub fn run_cell(coord: &CellCoord, config: &CampaignConfig) -> CellReport {
 ///
 /// Panics if the matrix fails [`ScenarioMatrix::validate`].
 pub fn run_campaign(matrix: &ScenarioMatrix, config: &CampaignConfig) -> CampaignReport {
+    run_campaign_instrumented(matrix, config).0
+}
+
+/// Like [`run_campaign`], additionally returning the campaign's aggregated
+/// perf accounting: every cell's [`CellPerf`] summed in canonical matrix
+/// order. The aggregate is deterministic for a given matrix and config (cell
+/// counters are seed-derived, and summation is order-independent), so perf
+/// reports can gate on it.
+pub fn run_campaign_instrumented(
+    matrix: &ScenarioMatrix,
+    config: &CampaignConfig,
+) -> (CampaignReport, CellPerf) {
     matrix
         .validate()
         .unwrap_or_else(|e| panic!("invalid scenario matrix: {e}"));
@@ -219,21 +275,28 @@ pub fn run_campaign(matrix: &ScenarioMatrix, config: &CampaignConfig) -> Campaig
         .num_threads(config.threads)
         .build()
         .expect("worker pool");
-    let rows: Vec<CellReport> = pool.install(|| {
+    let results: Vec<(CellReport, CellPerf)> = pool.install(|| {
         cells
             .into_par_iter()
-            .map(|coord| run_cell(&coord, config))
+            .map(|coord| run_cell_instrumented(&coord, config))
             .collect()
     });
+    let mut rows = Vec::with_capacity(results.len());
+    let mut perf = CellPerf::default();
+    for (row, cell_perf) in results {
+        rows.push(row);
+        perf.absorb(&cell_perf);
+    }
     let summaries = CampaignReport::summarize(matrix, &rows);
-    CampaignReport {
+    let report = CampaignReport {
         schema_version: REPORT_SCHEMA_VERSION,
         base_seed: config.base_seed,
         matrix: matrix.clone(),
         superpages: config.superpages,
         cells: rows,
         summaries,
-    }
+    };
+    (report, perf)
 }
 
 #[cfg(test)]

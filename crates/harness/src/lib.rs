@@ -49,7 +49,10 @@ mod matrix;
 mod report;
 mod seeding;
 
-pub use campaign::{run_campaign, run_cell, CampaignConfig};
+pub use campaign::{
+    run_campaign, run_campaign_instrumented, run_cell, run_cell_instrumented, CampaignConfig,
+    CellPerf,
+};
 pub use matrix::{CellCoord, ProfileChoice, ScenarioMatrix};
 pub use report::{CampaignReport, CellReport, DefenseSummary};
 pub use seeding::cell_seed;

@@ -8,7 +8,7 @@
 
 use std::collections::BTreeMap;
 
-use pthammer_machine::{Machine, MachineConfig, VirtualAccess};
+use pthammer_machine::{Machine, MachineConfig, TouchAccess, VirtualAccess};
 use pthammer_mmu::{Pte, PteFlags};
 use pthammer_types::{
     Cycles, PageSize, PhysAddr, VirtAddr, HUGE_PAGE_SIZE, PAGE_SIZE, PTES_PER_TABLE,
@@ -639,12 +639,50 @@ impl System {
         self.read_u64(pid, vaddr)
     }
 
+    /// Touches `vaddr` through the lean path: identical simulated behavior
+    /// and latency accounting to [`System::access`], but without reading the
+    /// data value or assembling a full [`VirtualAccess`]. The hammer loop's
+    /// per-iteration target touches go through this.
+    pub fn touch(&mut self, pid: Pid, vaddr: VirtAddr) -> Result<TouchAccess, KernelError> {
+        let cr3 = self.cr3_of(pid)?;
+        let acc = self.machine.touch_lean(cr3, vaddr);
+        if acc.fault.is_none() {
+            return Ok(acc);
+        }
+        self.handle_fault(pid, vaddr)?;
+        let acc = self.machine.touch_lean(cr3, vaddr);
+        if acc.fault.is_some() {
+            return Err(KernelError::BadAddress(vaddr));
+        }
+        Ok(acc)
+    }
+
     /// Accesses a sequence of addresses back-to-back (pipelined), handling
     /// any demand-paging faults along the way. Returns the total latency.
     pub fn access_batch(&mut self, pid: Pid, vaddrs: &[VirtAddr]) -> Result<Cycles, KernelError> {
+        self.access_batch_passes(pid, vaddrs, 1)
+    }
+
+    /// Runs [`System::access_batch`] over the same address sequence `passes`
+    /// times in one call (the repeated-traversal pattern of LLC eviction),
+    /// with one batch entry/exit. Behavior is identical for populated
+    /// mappings — the only ones eviction traversal touches; a page that
+    /// demand-faults faults once per pass, and is populated (and its fault
+    /// latency charged) only for the first occurrence.
+    pub fn access_batch_passes(
+        &mut self,
+        pid: Pid,
+        vaddrs: &[VirtAddr],
+        passes: usize,
+    ) -> Result<Cycles, KernelError> {
         let cr3 = self.cr3_of(pid)?;
-        let (mut total, faults) = self.machine.access_batch(cr3, vaddrs);
+        let (mut total, faults) = self.machine.access_batch_passes(cr3, vaddrs, passes);
+        let mut handled: Vec<VirtAddr> = Vec::new();
         for fault in faults {
+            if handled.contains(&fault.vaddr) {
+                continue;
+            }
+            handled.push(fault.vaddr);
             self.handle_fault(pid, fault.vaddr)?;
             let (extra, refaults) = self.machine.access_batch(cr3, &[fault.vaddr]);
             total += extra;

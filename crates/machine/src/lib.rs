@@ -32,7 +32,7 @@ mod phys_mem;
 
 pub use choice::MachineChoice;
 pub use config::MachineConfig;
-pub use machine::{Machine, VirtualAccess};
+pub use machine::{Machine, TouchAccess, VirtualAccess};
 pub use memory::MemorySubsystem;
 pub use oracle::{
     dram_location, l1pte_paddr, llc_location, same_bank, software_walk, SoftwareWalk,

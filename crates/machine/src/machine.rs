@@ -35,6 +35,19 @@ pub struct VirtualAccess {
     pub value: u64,
 }
 
+/// Outcome of a lean timed touch ([`Machine::touch_lean`]): latency, fault
+/// and the implicit-access bit — everything the hammer loop observes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TouchAccess {
+    /// Total modelled latency of the access (translation + data).
+    pub latency: Cycles,
+    /// Fault raised by the translation, if any.
+    pub fault: Option<PageFault>,
+    /// Whether the walk loaded the Level-1 PTE from DRAM — the implicit
+    /// hammer blow PThammer aims to trigger on every iteration.
+    pub l1pte_from_dram: bool,
+}
+
 /// A complete simulated machine.
 ///
 /// The machine exposes two API surfaces:
@@ -233,17 +246,82 @@ impl Machine {
     /// would: independent DRAM misses overlap, so each DRAM-served access is
     /// charged the configured overlap latency instead of the full latency.
     /// Returns the total latency and any faults encountered.
+    ///
+    /// This is the simulator's hottest entry point — eviction-set traversal
+    /// (the bulk of every hammer iteration) runs through it — so it drives
+    /// the translation walker and the cache hierarchy directly, without
+    /// constructing a [`VirtualAccess`] per address and without reading the
+    /// (ignored) data values. The modelled state transitions are identical
+    /// to calling [`Machine::touch`] per address in batch mode.
     pub fn access_batch(&mut self, cr3: PhysAddr, vaddrs: &[VirtAddr]) -> (Cycles, Vec<PageFault>) {
+        self.access_batch_passes(cr3, vaddrs, 1)
+    }
+
+    /// Runs [`Machine::access_batch`] over the same address sequence
+    /// `passes` times in one call — the access pattern of repeated
+    /// eviction-set traversal. Identical state transitions to calling
+    /// `access_batch` `passes` times; one entry/exit of the batch machinery.
+    pub fn access_batch_passes(
+        &mut self,
+        cr3: PhysAddr,
+        vaddrs: &[VirtAddr],
+        passes: usize,
+    ) -> (Cycles, Vec<PageFault>) {
         let mut total = Cycles::ZERO;
         let mut faults = Vec::new();
-        for &vaddr in vaddrs {
-            let acc = self.do_access(cr3, vaddr, AccessKind::Read, 0, true);
-            total += acc.latency;
-            if let Some(fault) = acc.fault {
-                faults.push(fault);
+        let overhead = Cycles::new(u64::from(self.config.access_overhead));
+        let capacity = self.config.dram.geometry.capacity_bytes();
+        self.mem.set_batch_mode(true);
+        for _ in 0..passes {
+            for &vaddr in vaddrs {
+                self.mem.set_now(self.clock);
+                let translation = self.mmu.translate_touch(cr3, vaddr, &mut self.mem);
+                let mut latency = translation.latency + overhead;
+                // Same out-of-range-translation handling as the single-access
+                // path: a PTE pointing beyond installed DRAM faults.
+                let translation_paddr = translation.paddr.filter(|p| p.as_u64() + 8 <= capacity);
+                if let Some(paddr) = translation_paddr {
+                    latency += self.mem.access_line(paddr).latency;
+                } else if translation.paddr.is_some() {
+                    faults.push(PageFault { vaddr, level: 0 });
+                } else if let Some(fault) = translation.fault {
+                    faults.push(fault);
+                }
+                self.clock += latency;
+                total += latency;
             }
         }
+        self.mem.set_batch_mode(false);
         (total, faults)
+    }
+
+    /// A timed touch without reading the (ignored) data value or building a
+    /// [`VirtualAccess`]: identical simulated state transitions and latency
+    /// accounting to [`Machine::touch`] (serial mode — *not* the overlapped
+    /// batch charging). This is what the hammer loop uses for its two target
+    /// accesses per iteration.
+    pub fn touch_lean(&mut self, cr3: PhysAddr, vaddr: VirtAddr) -> TouchAccess {
+        let overhead = Cycles::new(u64::from(self.config.access_overhead));
+        let capacity = self.config.dram.geometry.capacity_bytes();
+        self.mem.set_batch_mode(false);
+        self.mem.set_now(self.clock);
+        let translation = self.mmu.translate_touch(cr3, vaddr, &mut self.mem);
+        let mut latency = translation.latency + overhead;
+        let translation_paddr = translation.paddr.filter(|p| p.as_u64() + 8 <= capacity);
+        let fault = if let Some(paddr) = translation_paddr {
+            latency += self.mem.access_line(paddr).latency;
+            None
+        } else if translation.paddr.is_some() {
+            Some(PageFault { vaddr, level: 0 })
+        } else {
+            translation.fault
+        };
+        self.clock += latency;
+        TouchAccess {
+            latency,
+            fault,
+            l1pte_from_dram: translation.l1pte_from_dram,
+        }
     }
 
     /// Executes `clflush` on the line containing `vaddr`: translates the

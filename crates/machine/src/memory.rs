@@ -94,8 +94,9 @@ impl MemorySubsystem {
     /// core overlapping independent accesses: cache hits are charged roughly
     /// a third of their serialized latency and DRAM accesses the configured
     /// overlap cost.
+    #[inline]
     pub fn access_line(&mut self, paddr: PhysAddr) -> MemAccessOutcome {
-        let lookup = self.caches.access(paddr);
+        let (lookup, fill_plan) = self.caches.access_planning_fill(paddr);
         if let Some(level) = lookup.hit_level {
             let latency = if self.batch_mode {
                 Cycles::new(lookup.latency.as_u64().div_ceil(3))
@@ -115,7 +116,10 @@ impl MemorySubsystem {
                 self.applied_flips.push(applied);
             }
         }
-        self.caches.fill(paddr);
+        // The lookup above just missed every level and captured where the
+        // fill should land, so no way re-scan runs here. (The DRAM access in
+        // between never touches the caches, keeping the plan valid.)
+        self.caches.fill_with_plan(paddr, fill_plan);
         let dram_latency = if self.batch_mode {
             self.dram_overlap_latency
         } else {

@@ -1,11 +1,9 @@
 //! Sparse physical-memory contents.
 
-use std::collections::HashMap;
-
 use serde::{Deserialize, Serialize};
 
 use pthammer_dram::FlipEvent;
-use pthammer_types::{FlipDirection, PhysAddr, PAGE_SIZE};
+use pthammer_types::{DetHashMap, FlipDirection, PhysAddr, PAGE_SIZE};
 
 /// Contents of one 4 KiB physical frame.
 ///
@@ -54,10 +52,14 @@ pub struct AppliedFlip {
 ///
 /// Reads of untouched frames return zero, mirroring zero-initialised DRAM in
 /// the simulation (real DRAM content would be arbitrary; zero keeps the
-/// experiments deterministic).
+/// experiments deterministic). The frame map is the single hottest map in
+/// the simulator (every data value and page-table entry read goes through
+/// it), so it uses the deterministic fast hasher; hash order is never
+/// observable — the map is only ever probed by key, and serialization sorts
+/// entries.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct PhysicalMemory {
-    frames: HashMap<u64, FrameContents>,
+    frames: DetHashMap<u64, FrameContents>,
     capacity_bytes: u64,
 }
 
@@ -65,7 +67,7 @@ impl PhysicalMemory {
     /// Creates a physical memory of the given capacity.
     pub fn new(capacity_bytes: u64) -> Self {
         Self {
-            frames: HashMap::new(),
+            frames: DetHashMap::default(),
             capacity_bytes,
         }
     }
@@ -93,6 +95,7 @@ impl PhysicalMemory {
     /// # Panics
     ///
     /// Panics if the address is unaligned or out of range.
+    #[inline]
     pub fn read_u64(&self, paddr: PhysAddr) -> u64 {
         self.check(paddr, 8);
         assert!(paddr.is_pte_aligned(), "read_u64 requires 8-byte alignment");

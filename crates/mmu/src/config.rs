@@ -23,14 +23,19 @@ pub enum TlbIndexing {
 
 impl TlbIndexing {
     /// Computes the set index for a virtual page number.
+    #[inline]
     pub fn set_index(self, vpn: u64, sets: u32) -> u32 {
         let sets64 = u64::from(sets);
-        match self {
-            TlbIndexing::Linear => (vpn % sets64) as u32,
-            TlbIndexing::XorFold => {
-                let shift = sets.trailing_zeros();
-                ((vpn ^ (vpn >> shift)) % sets64) as u32
-            }
+        let folded = match self {
+            TlbIndexing::Linear => vpn,
+            TlbIndexing::XorFold => vpn ^ (vpn >> sets.trailing_zeros()),
+        };
+        // TLB set counts are powers of two in practice; masking avoids a
+        // hardware division on the per-access hot path.
+        if sets.is_power_of_two() {
+            (folded & (sets64 - 1)) as u32
+        } else {
+            (folded % sets64) as u32
         }
     }
 }

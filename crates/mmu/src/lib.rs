@@ -59,4 +59,4 @@ pub use config::{MmuConfig, PagingCacheConfig, TlbConfig, TlbIndexing};
 pub use paging_cache::{PagingStructureCache, PscLevel};
 pub use pte::{Pte, PteFlags};
 pub use tlb::{Tlb, TlbEntry, TlbHierarchy, TlbLevel, TlbPmc};
-pub use translate::{Mmu, PageFault, TranslationResult, WalkLoad};
+pub use translate::{Mmu, PageFault, TouchTranslation, TranslationResult, WalkLoad, WalkLoads};

@@ -49,12 +49,18 @@ impl PscLevel {
 }
 
 /// One fully-associative, LRU paging-structure cache.
+///
+/// Tags live in their own dense array so the per-translation scan touches
+/// the minimum number of host cache lines; payloads (next-table base, LRU
+/// stamp) are looked up by index only on a hit.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PagingStructureCache {
     level: PscLevel,
     capacity: usize,
-    /// (tag, next-table base, LRU stamp)
-    entries: Vec<(u64, PhysAddr, u64)>,
+    /// Tags, scanned linearly on every walk.
+    tags: Vec<u64>,
+    /// (next-table base, LRU stamp) per tag, same indices as `tags`.
+    payloads: Vec<(PhysAddr, u64)>,
     tick: u64,
 }
 
@@ -72,7 +78,8 @@ impl PagingStructureCache {
         Self {
             level,
             capacity,
-            entries: Vec::with_capacity(capacity),
+            tags: Vec::with_capacity(capacity),
+            payloads: Vec::with_capacity(capacity),
             tick: 0,
         }
     }
@@ -84,67 +91,69 @@ impl PagingStructureCache {
 
     /// Number of currently cached entries.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.tags.len()
     }
 
     /// True when the cache holds no entries.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.tags.is_empty()
     }
 
     /// Looks up the partial translation for `vaddr`, returning the physical
     /// base of the next page-table level on a hit.
+    #[inline]
     pub fn lookup(&mut self, vaddr: VirtAddr) -> Option<PhysAddr> {
         let tag = self.level.tag_of(vaddr);
         self.tick += 1;
-        let tick = self.tick;
-        self.entries
-            .iter_mut()
-            .find(|(t, _, _)| *t == tag)
-            .map(|e| {
-                e.2 = tick;
-                e.1
-            })
+        let idx = self.tags.iter().position(|&t| t == tag)?;
+        let payload = &mut self.payloads[idx];
+        payload.1 = self.tick;
+        Some(payload.0)
     }
 
     /// Probes for `vaddr` without updating LRU state.
     pub fn contains(&self, vaddr: VirtAddr) -> bool {
         let tag = self.level.tag_of(vaddr);
-        self.entries.iter().any(|(t, _, _)| *t == tag)
+        self.tags.contains(&tag)
     }
 
     /// Inserts the partial translation for `vaddr`.
     pub fn insert(&mut self, vaddr: VirtAddr, next_table: PhysAddr) {
         let tag = self.level.tag_of(vaddr);
         self.tick += 1;
-        if let Some(e) = self.entries.iter_mut().find(|(t, _, _)| *t == tag) {
-            e.1 = next_table;
-            e.2 = self.tick;
+        if let Some(idx) = self.tags.iter().position(|&t| t == tag) {
+            self.payloads[idx] = (next_table, self.tick);
             return;
         }
-        if self.entries.len() < self.capacity {
-            self.entries.push((tag, next_table, self.tick));
+        if self.tags.len() < self.capacity {
+            self.tags.push(tag);
+            self.payloads.push((next_table, self.tick));
             return;
         }
         let lru = self
-            .entries
+            .payloads
             .iter()
             .enumerate()
-            .min_by_key(|(_, (_, _, stamp))| *stamp)
+            .min_by_key(|(_, (_, stamp))| *stamp)
             .map(|(i, _)| i)
             .expect("cache is non-empty");
-        self.entries[lru] = (tag, next_table, self.tick);
+        self.tags[lru] = tag;
+        self.payloads[lru] = (next_table, self.tick);
     }
 
     /// Removes the entry covering `vaddr`, if present.
     pub fn invalidate(&mut self, vaddr: VirtAddr) {
         let tag = self.level.tag_of(vaddr);
-        self.entries.retain(|(t, _, _)| *t != tag);
+        while let Some(idx) = self.tags.iter().position(|&t| t == tag) {
+            self.tags.remove(idx);
+            self.payloads.remove(idx);
+        }
     }
 
     /// Removes every entry.
     pub fn flush_all(&mut self) {
-        self.entries.clear();
+        self.tags.clear();
+        self.payloads.clear();
     }
 }
 

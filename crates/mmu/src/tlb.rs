@@ -4,7 +4,7 @@ use core::fmt;
 
 use serde::{Deserialize, Serialize};
 
-use pthammer_cache::SetMeta;
+use pthammer_cache::{ReplacementState, WaySlot};
 use pthammer_types::{PageSize, PhysAddr, VirtAddr, HUGE_PAGE_SIZE, PAGE_SIZE};
 
 use crate::config::{MmuConfig, TlbConfig};
@@ -81,12 +81,49 @@ impl fmt::Display for TlbPmc {
     }
 }
 
+/// One way of one TLB set: the cached entry and its replacement-metadata
+/// word, adjacent in memory so a set probe scans one contiguous run.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+struct TlbSlot {
+    entry: Option<TlbEntry>,
+    meta: u64,
+}
+
+impl TlbSlot {
+    const EMPTY: TlbSlot = TlbSlot {
+        entry: None,
+        meta: 0,
+    };
+
+    #[inline]
+    fn holds(&self, vpn: u64) -> bool {
+        matches!(self.entry, Some(e) if e.vpn == vpn)
+    }
+}
+
+impl WaySlot for TlbSlot {
+    #[inline]
+    fn meta(&self) -> u64 {
+        self.meta
+    }
+    #[inline]
+    fn set_meta(&mut self, value: u64) {
+        self.meta = value;
+    }
+}
+
 /// One set-associative TLB level.
+///
+/// Like the flattened caches, the entry store is a single contiguous array
+/// indexed by `(set, way)` — TLB lookups run on every simulated access, so
+/// this layout is on the simulator's hottest path.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Tlb {
     config: TlbConfig,
-    sets: Vec<Vec<Option<TlbEntry>>>,
-    meta: Vec<SetMeta>,
+    /// `sets * ways` slots, way-major within each set.
+    slots: Vec<TlbSlot>,
+    /// Per-set replacement scalars.
+    states: Vec<ReplacementState>,
 }
 
 impl Tlb {
@@ -97,17 +134,15 @@ impl Tlb {
     /// Panics if the configuration is invalid.
     pub fn new(config: TlbConfig, seed: u64) -> Self {
         config.validate().expect("invalid TLB configuration");
-        let sets = vec![vec![None; config.ways as usize]; config.sets as usize];
-        let meta = (0..config.sets)
-            .map(|s| {
-                SetMeta::new(
-                    config.replacement,
-                    config.ways as usize,
-                    seed ^ (u64::from(s) << 13) | 1,
-                )
-            })
+        let slots = vec![TlbSlot::EMPTY; config.sets as usize * config.ways as usize];
+        let states = (0..config.sets)
+            .map(|s| ReplacementState::new(seed ^ (u64::from(s) << 13) | 1))
             .collect();
-        Self { config, sets, meta }
+        Self {
+            config,
+            slots,
+            states,
+        }
     }
 
     /// The configuration of this TLB.
@@ -121,45 +156,80 @@ impl Tlb {
         self.config.indexing.set_index(vpn, self.config.sets)
     }
 
+    /// The slots of one set as a contiguous slice.
+    #[inline]
+    fn set_slots(&self, set: usize) -> &[TlbSlot] {
+        let ways = self.config.ways as usize;
+        &self.slots[set * ways..set * ways + ways]
+    }
+
     /// Looks up `vpn`, refreshing replacement state on a hit.
+    #[inline(always)]
     pub fn lookup(&mut self, vpn: u64) -> Option<TlbEntry> {
         let set = self.set_index(vpn) as usize;
-        let way = self.sets[set]
-            .iter()
-            .position(|slot| slot.map(|e| e.vpn) == Some(vpn))?;
-        self.meta[set].on_hit(way);
-        self.sets[set][way]
+        let ways = self.config.ways as usize;
+        let slots = &mut self.slots[set * ways..set * ways + ways];
+        let way = slots.iter().position(|slot| slot.holds(vpn))?;
+        self.config
+            .replacement
+            .on_hit(slots, &mut self.states[set], way);
+        slots[way].entry
     }
 
     /// Probes for `vpn` without touching replacement state.
     pub fn contains(&self, vpn: u64) -> bool {
         let set = self.set_index(vpn) as usize;
-        self.sets[set]
-            .iter()
-            .any(|slot| slot.map(|e| e.vpn) == Some(vpn))
+        self.set_slots(set).iter().any(|slot| slot.holds(vpn))
     }
 
     /// Inserts a translation, evicting a victim if the set is full. Returns
     /// the evicted entry, if any.
+    #[inline]
     pub fn insert(&mut self, entry: TlbEntry) -> Option<TlbEntry> {
         let set = self.set_index(entry.vpn) as usize;
-        if let Some(way) = self.sets[set]
-            .iter()
-            .position(|slot| slot.map(|e| e.vpn) == Some(entry.vpn))
-        {
-            self.sets[set][way] = Some(entry);
-            self.meta[set].on_hit(way);
+        let ways = self.config.ways as usize;
+        let slots = &mut self.slots[set * ways..set * ways + ways];
+        let state = &mut self.states[set];
+        if let Some(way) = slots.iter().position(|slot| slot.holds(entry.vpn)) {
+            slots[way].entry = Some(entry);
+            self.config.replacement.on_hit(slots, state, way);
             return None;
         }
-        if let Some(way) = self.sets[set].iter().position(Option::is_none) {
-            self.sets[set][way] = Some(entry);
-            self.meta[set].on_fill(way);
+        if let Some(way) = slots.iter().position(|slot| slot.entry.is_none()) {
+            slots[way].entry = Some(entry);
+            self.config.replacement.on_fill(slots, state, way);
             return None;
         }
-        let victim_way = self.meta[set].choose_victim(self.config.ways as usize);
-        let victim = self.sets[set][victim_way];
-        self.sets[set][victim_way] = Some(entry);
-        self.meta[set].on_fill(victim_way);
+        let victim_way = self.config.replacement.choose_victim(slots, state);
+        let victim = slots[victim_way].entry;
+        slots[victim_way].entry = Some(entry);
+        self.config.replacement.on_fill(slots, state, victim_way);
+        victim
+    }
+
+    /// Inserts a translation that a lookup just missed in this TLB, skipping
+    /// the presence scan of [`Tlb::insert`]. Inserting a vpn that *is*
+    /// present would duplicate it; callers must only use this right after a
+    /// miss (the walker's refill path).
+    #[inline]
+    pub fn insert_after_miss(&mut self, entry: TlbEntry) -> Option<TlbEntry> {
+        debug_assert!(
+            !self.contains(entry.vpn),
+            "insert_after_miss on present vpn"
+        );
+        let set = self.set_index(entry.vpn) as usize;
+        let ways = self.config.ways as usize;
+        let slots = &mut self.slots[set * ways..set * ways + ways];
+        let state = &mut self.states[set];
+        if let Some(way) = slots.iter().position(|slot| slot.entry.is_none()) {
+            slots[way].entry = Some(entry);
+            self.config.replacement.on_fill(slots, state, way);
+            return None;
+        }
+        let victim_way = self.config.replacement.choose_victim(slots, state);
+        let victim = slots[victim_way].entry;
+        slots[victim_way].entry = Some(entry);
+        self.config.replacement.on_fill(slots, state, victim_way);
         victim
     }
 
@@ -167,12 +237,11 @@ impl Tlb {
     /// an entry was removed.
     pub fn invalidate(&mut self, vpn: u64) -> bool {
         let set = self.set_index(vpn) as usize;
-        if let Some(way) = self.sets[set]
-            .iter()
-            .position(|slot| slot.map(|e| e.vpn) == Some(vpn))
-        {
-            self.sets[set][way] = None;
-            self.meta[set].on_invalidate(way);
+        let ways = self.config.ways as usize;
+        let slots = &mut self.slots[set * ways..set * ways + ways];
+        if let Some(way) = slots.iter().position(|slot| slot.holds(vpn)) {
+            slots[way].entry = None;
+            self.config.replacement.on_invalidate(slots, way);
             true
         } else {
             false
@@ -181,18 +250,16 @@ impl Tlb {
 
     /// Removes every translation (models a CR3 write without PCID).
     pub fn flush_all(&mut self) {
-        for set in &mut self.sets {
-            for slot in set {
-                *slot = None;
-            }
+        for slot in &mut self.slots {
+            slot.entry = None;
         }
     }
 
     /// Number of valid entries currently held in `set`.
     pub fn occupancy(&self, set: u32) -> usize {
-        self.sets[set as usize]
+        self.set_slots(set as usize)
             .iter()
-            .filter(|s| s.is_some())
+            .filter(|s| s.entry.is_some())
             .count()
     }
 }
@@ -245,6 +312,7 @@ impl TlbHierarchy {
 
     /// Looks up a virtual address. Returns the serving level and entry, or
     /// `None` when a page-table walk is required. Counts PMC events.
+    #[inline(always)]
     pub fn lookup(&mut self, vaddr: VirtAddr) -> Option<(TlbLevel, TlbEntry)> {
         self.pmc.lookups += 1;
         let vpn4k = vaddr.as_u64() / PAGE_SIZE;
@@ -259,8 +327,9 @@ impl TlbHierarchy {
         self.pmc.l1_misses += 1;
 
         if let Some(entry) = self.l2s.lookup(vpn4k) {
-            // Refill the L1 on an sTLB hit.
-            self.l1d.insert(entry);
+            // Refill the L1 on an sTLB hit; the L1 probe above just missed,
+            // so the entry is absent there.
+            self.l1d.insert_after_miss(entry);
             return Some((TlbLevel::L2, entry));
         }
         self.pmc.walks += 1;
@@ -268,14 +337,19 @@ impl TlbHierarchy {
     }
 
     /// Inserts a translation produced by a page-table walk.
+    ///
+    /// The walker only reaches this after [`TlbHierarchy::lookup`] missed
+    /// every level for the entry's vpn, so the per-level presence scans are
+    /// skipped. External callers inserting speculatively must use the
+    /// individual [`Tlb::insert`] methods instead.
     pub fn insert(&mut self, entry: TlbEntry) {
         match entry.page_size {
             PageSize::Base4K => {
-                self.l1d.insert(entry);
-                self.l2s.insert(entry);
+                self.l1d.insert_after_miss(entry);
+                self.l2s.insert_after_miss(entry);
             }
             PageSize::Huge2M => {
-                self.l1d_huge.insert(entry);
+                self.l1d_huge.insert_after_miss(entry);
             }
         }
     }

@@ -4,7 +4,8 @@
 use serde::{Deserialize, Serialize};
 
 use pthammer_types::{
-    Cycles, MemAccessOutcome, PageSize, PhysAddr, PhysicalMemoryAccess, VirtAddr, PTE_SIZE,
+    Cycles, MemAccessOutcome, MemoryLevel, PageSize, PhysAddr, PhysicalMemoryAccess, VirtAddr,
+    PTE_SIZE,
 };
 
 use crate::{
@@ -40,8 +41,50 @@ pub struct PageFault {
     pub level: u8,
 }
 
+/// The page-table-entry loads of one walk, stored inline (a 4-level walk
+/// loads at most four entries) so the translation hot path never allocates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WalkLoads {
+    loads: [Option<WalkLoad>; 4],
+    len: u8,
+}
+
+impl WalkLoads {
+    /// Number of recorded loads.
+    pub fn len(&self) -> usize {
+        usize::from(self.len)
+    }
+
+    /// True when the walk performed no loads (TLB hit).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterates over the recorded loads in walk order.
+    pub fn iter(&self) -> impl Iterator<Item = &WalkLoad> {
+        self.loads[..usize::from(self.len)]
+            .iter()
+            .map(|slot| slot.as_ref().expect("recorded slot"))
+    }
+
+    #[inline]
+    fn push(&mut self, load: WalkLoad) {
+        self.loads[usize::from(self.len)] = Some(load);
+        self.len += 1;
+    }
+}
+
+impl core::ops::Index<usize> for WalkLoads {
+    type Output = WalkLoad;
+
+    fn index(&self, index: usize) -> &WalkLoad {
+        assert!(index < self.len(), "walk load index out of range");
+        self.loads[index].as_ref().expect("recorded slot")
+    }
+}
+
 /// The complete result of translating one virtual address.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TranslationResult {
     /// Translated physical address, or `None` if the walk faulted.
     pub paddr: Option<PhysAddr>,
@@ -56,7 +99,23 @@ pub struct TranslationResult {
     /// Paging-structure cache that provided a partial translation, if any.
     pub psc_hit: Option<PscLevel>,
     /// Page-table-entry loads performed by the walker (empty on a TLB hit).
-    pub walk_loads: Vec<WalkLoad>,
+    pub walk_loads: WalkLoads,
+}
+
+/// The slim result of [`Mmu::translate_touch`]: what a batched touch needs
+/// and nothing more, so the hot path moves ~40 bytes instead of the full
+/// [`TranslationResult`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TouchTranslation {
+    /// Translated physical address, or `None` if the walk faulted.
+    pub paddr: Option<PhysAddr>,
+    /// Fault information when `paddr` is `None`.
+    pub fault: Option<PageFault>,
+    /// Total translation latency (TLB lookups + walk).
+    pub latency: Cycles,
+    /// Whether the walk loaded the Level-1 PTE from DRAM (the implicit
+    /// hammer blow).
+    pub l1pte_from_dram: bool,
 }
 
 impl TranslationResult {
@@ -150,20 +209,64 @@ impl Mmu {
         vaddr: VirtAddr,
         mem: &mut impl PhysicalMemoryAccess,
     ) -> TranslationResult {
+        let mut walk_loads = WalkLoads::default();
+        let core = self.translate_core(cr3, vaddr, mem, &mut |load| walk_loads.push(load));
+        TranslationResult {
+            paddr: core.paddr,
+            fault: core.fault,
+            page_size: core.page_size,
+            latency: core.latency,
+            tlb_hit: core.tlb_hit,
+            psc_hit: core.psc_hit,
+            walk_loads,
+        }
+    }
+
+    /// Slim translation for batched touches: performs exactly the same TLB,
+    /// paging-structure-cache and page-table-load sequence as
+    /// [`Mmu::translate`] — the simulated state transitions are identical —
+    /// but records no walk loads and returns only the [`TouchTranslation`]
+    /// the batch driver needs. This is the walker entry point of the
+    /// eviction-set hot path.
+    pub fn translate_touch(
+        &mut self,
+        cr3: PhysAddr,
+        vaddr: VirtAddr,
+        mem: &mut impl PhysicalMemoryAccess,
+    ) -> TouchTranslation {
+        let core = self.translate_core(cr3, vaddr, mem, &mut |_| {});
+        TouchTranslation {
+            paddr: core.paddr,
+            fault: core.fault,
+            latency: core.latency,
+            l1pte_from_dram: core.l1pte_from_dram,
+        }
+    }
+
+    /// The shared translation engine behind [`Mmu::translate`] and
+    /// [`Mmu::translate_touch`]; `record` observes every page-table load.
+    #[inline]
+    fn translate_core(
+        &mut self,
+        cr3: PhysAddr,
+        vaddr: VirtAddr,
+        mem: &mut impl PhysicalMemoryAccess,
+        record: &mut impl FnMut(WalkLoad),
+    ) -> CoreTranslation {
         let mut latency = Cycles::new(u64::from(self.config.tlb_lookup_latency));
 
         if let Some((level, entry)) = self.tlbs.lookup(vaddr) {
             if level == TlbLevel::L2 {
                 latency += Cycles::new(u64::from(self.config.stlb_lookup_latency));
             }
-            return TranslationResult {
+            return CoreTranslation {
                 paddr: Some(entry.translate(vaddr)),
                 fault: None,
                 page_size: entry.page_size,
                 latency,
                 tlb_hit: Some(level),
                 psc_hit: None,
-                walk_loads: Vec::new(),
+                l1pte_from_dram: false,
             };
         }
         // Both TLB levels were probed before declaring a walk.
@@ -180,14 +283,17 @@ impl Mmu {
             (4u8, cr3, None)
         };
 
-        let mut walk_loads = Vec::with_capacity(level as usize);
+        let mut l1pte_from_dram = false;
         loop {
             let entry_paddr = table_base + vaddr.pt_index(level) * PTE_SIZE;
             let (raw, outcome) = mem.load_qword(entry_paddr);
             let value = Pte::from_raw(raw);
             latency += outcome.latency;
             latency += Cycles::new(u64::from(self.config.walk_step_latency));
-            walk_loads.push(WalkLoad {
+            if level == 1 {
+                l1pte_from_dram = outcome.served_by == MemoryLevel::Dram;
+            }
+            record(WalkLoad {
                 level,
                 entry_paddr,
                 outcome,
@@ -195,14 +301,14 @@ impl Mmu {
             });
 
             if !value.present() {
-                return TranslationResult {
+                return CoreTranslation {
                     paddr: None,
                     fault: Some(PageFault { vaddr, level }),
                     page_size: PageSize::Base4K,
                     latency,
                     tlb_hit: None,
                     psc_hit,
-                    walk_loads,
+                    l1pte_from_dram,
                 };
             }
 
@@ -215,14 +321,14 @@ impl Mmu {
                     page_size: PageSize::Huge2M,
                 };
                 self.tlbs.insert(entry);
-                return TranslationResult {
+                return CoreTranslation {
                     paddr: Some(frame + vaddr.huge_page_offset()),
                     fault: None,
                     page_size: PageSize::Huge2M,
                     latency,
                     tlb_hit: None,
                     psc_hit,
-                    walk_loads,
+                    l1pte_from_dram,
                 };
             }
 
@@ -235,14 +341,14 @@ impl Mmu {
                     page_size: PageSize::Base4K,
                 };
                 self.tlbs.insert(entry);
-                return TranslationResult {
+                return CoreTranslation {
                     paddr: Some(frame + vaddr.page_offset()),
                     fault: None,
                     page_size: PageSize::Base4K,
                     latency,
                     tlb_hit: None,
                     psc_hit,
-                    walk_loads,
+                    l1pte_from_dram,
                 };
             }
 
@@ -257,6 +363,18 @@ impl Mmu {
             level -= 1;
         }
     }
+}
+
+/// Internal result of the shared translation engine.
+#[derive(Debug, Clone, Copy)]
+struct CoreTranslation {
+    paddr: Option<PhysAddr>,
+    fault: Option<PageFault>,
+    page_size: PageSize,
+    latency: Cycles,
+    tlb_hit: Option<TlbLevel>,
+    psc_hit: Option<PscLevel>,
+    l1pte_from_dram: bool,
 }
 
 #[cfg(test)]

@@ -1,0 +1,45 @@
+//! Performance subsystem for the PThammer simulator.
+//!
+//! Three pieces:
+//!
+//! * [`MachineCounters`] — one snapshot of every deterministic simulator
+//!   counter (cache PMCs, TLB PMCs, DRAM statistics) with delta arithmetic,
+//!   so workloads can report exactly what the simulated hardware did;
+//! * [`Stopwatch`] — host wall-clock timing for throughput measurements
+//!   (wall time is *reported*, never gated: it varies run to run);
+//! * [`PerfReport`] / [`WorkloadPerf`] — the canonical `BENCH_perf.json`
+//!   document the `perf_report` binary emits and CI gates on.
+//!
+//! # `BENCH_perf.json` schema (version 1)
+//!
+//! ```json
+//! {
+//!   "schema_version": 1,
+//!   "workloads": [
+//!     {
+//!       "name": "hammer_loop_test_small",
+//!       "counters": { "<counter>": 123, ... },
+//!       "wall_ns": 45678
+//!     }
+//!   ]
+//! }
+//! ```
+//!
+//! Workloads appear in pinned order; `counters` is an alphabetically sorted
+//! map of exact, deterministic `u64` values (simulated events — never host
+//! timing). `wall_ns` is the host wall-clock duration of the workload.
+//! The CI gate compares the report with every `"wall_ns"` line removed
+//! (see [`PerfReport::gated_view`]), so counters must match byte-for-byte
+//! while wall time floats. See `PERF.md` at the repository root for the
+//! refresh workflow.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod counters;
+mod report;
+mod stopwatch;
+
+pub use counters::{HammerAccounting, MachineCounters};
+pub use report::{PerfReport, WorkloadPerf, PERF_SCHEMA_VERSION};
+pub use stopwatch::Stopwatch;

@@ -1,0 +1,51 @@
+//! Host wall-clock stopwatch for throughput reporting.
+
+use std::time::Instant;
+
+/// A simple wall-clock stopwatch.
+///
+/// Wall time is the only non-deterministic quantity in a perf report; it is
+/// *reported* (so the bench trajectory records real host throughput) but
+/// never *gated* (CI compares counters only).
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    started: Instant,
+}
+
+impl Stopwatch {
+    /// Starts a stopwatch.
+    pub fn start() -> Self {
+        Self {
+            started: Instant::now(),
+        }
+    }
+
+    /// Nanoseconds elapsed since the start (saturates at `u64::MAX`).
+    pub fn elapsed_ns(&self) -> u64 {
+        u64::try_from(self.started.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+impl Default for Stopwatch {
+    fn default() -> Self {
+        Self::start()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elapsed_is_monotonic() {
+        let sw = Stopwatch::start();
+        let a = sw.elapsed_ns();
+        let mut x = 0u64;
+        for i in 0..10_000u64 {
+            x = x.wrapping_add(std::hint::black_box(i));
+        }
+        assert!(x > 0);
+        let b = sw.elapsed_ns();
+        assert!(b >= a);
+    }
+}

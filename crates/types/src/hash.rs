@@ -1,0 +1,122 @@
+//! Deterministic fast hashing for simulator-internal maps.
+//!
+//! The simulator keys several hot maps by dense integers (physical frame
+//! numbers, DRAM row indices). The standard library's SipHash dominates
+//! their lookup cost on the hot path, and its per-process random keys are
+//! pointless here: these maps are only ever probed by key, never iterated
+//! for output, so hash order is unobservable and DoS resistance is
+//! irrelevant. [`DetHashMap`] / [`DetHashSet`] swap in a deterministic
+//! multiply-xor hasher that is an order of magnitude cheaper.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasher, Hasher};
+
+/// Deterministic multiply-xor hasher (FxHash-style with a final avalanche).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DetHasher(u64);
+
+impl Hasher for DetHasher {
+    #[inline]
+    fn write_u64(&mut self, value: u64) {
+        self.0 = (self.0 ^ value).wrapping_mul(0x517c_c1b7_2722_0a95);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, value: u32) {
+        self.write_u64(u64::from(value));
+    }
+
+    #[inline]
+    fn write_u8(&mut self, value: u8) {
+        self.write_u64(u64::from(value));
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            self.write_u64(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        // A final avalanche so dense low-bit keys (frame numbers, row
+        // indices) spread over the table's bucket mask.
+        let mut x = self.0;
+        x ^= x >> 32;
+        x = x.wrapping_mul(0xd6e8_feb8_6659_fd93);
+        x ^= x >> 32;
+        x
+    }
+}
+
+/// [`BuildHasher`] for [`DetHasher`]; deterministic across runs and hosts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DetHashBuilder;
+
+impl BuildHasher for DetHashBuilder {
+    type Hasher = DetHasher;
+
+    #[inline]
+    fn build_hasher(&self) -> DetHasher {
+        DetHasher::default()
+    }
+}
+
+/// `HashMap` with the deterministic fast hasher.
+pub type DetHashMap<K, V> = HashMap<K, V, DetHashBuilder>;
+
+/// `HashSet` with the deterministic fast hasher.
+pub type DetHashSet<T> = HashSet<T, DetHashBuilder>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: DetHashMap<u64, u32> = DetHashMap::default();
+        for i in 0..1000u64 {
+            m.insert(i * 4096, i as u32);
+        }
+        for i in 0..1000u64 {
+            assert_eq!(m.get(&(i * 4096)), Some(&(i as u32)));
+        }
+        assert_eq!(m.get(&1), None);
+    }
+
+    #[test]
+    fn set_roundtrip() {
+        let mut s: DetHashSet<(u32, u32)> = DetHashSet::default();
+        assert!(s.insert((3, 7)));
+        assert!(!s.insert((3, 7)));
+        assert!(s.contains(&(3, 7)));
+    }
+
+    #[test]
+    fn hashes_are_deterministic_and_spread() {
+        let h = |v: u64| {
+            let mut hasher = DetHashBuilder.build_hasher();
+            hasher.write_u64(v);
+            hasher.finish()
+        };
+        assert_eq!(h(42), h(42));
+        // Dense keys must land in distinct buckets of a small table.
+        let buckets: std::collections::HashSet<u64> = (0..64).map(|i| h(i) % 64).collect();
+        assert!(
+            buckets.len() > 32,
+            "only {} distinct buckets",
+            buckets.len()
+        );
+    }
+
+    #[test]
+    fn byte_writes_fold_like_words() {
+        let mut a = DetHasher::default();
+        a.write(&[1, 2, 3, 4, 5, 6, 7, 8]);
+        let mut b = DetHasher::default();
+        b.write_u64(u64::from_le_bytes([1, 2, 3, 4, 5, 6, 7, 8]));
+        assert_eq!(a.finish(), b.finish());
+    }
+}

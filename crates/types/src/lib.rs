@@ -28,12 +28,14 @@ mod access;
 mod addr;
 mod cycles;
 mod flip;
+mod hash;
 mod page;
 
 pub use access::{AccessKind, MemAccessOutcome, MemoryLevel, PhysicalMemoryAccess};
 pub use addr::{PhysAddr, VirtAddr};
 pub use cycles::Cycles;
 pub use flip::{CellOrientation, FlipDirection};
+pub use hash::{DetHashBuilder, DetHashMap, DetHashSet, DetHasher};
 pub use page::PageSize;
 
 /// Size of a base (4 KiB) page in bytes.
