@@ -1,6 +1,7 @@
 //! Emits and gates the canonical `BENCH_perf.json` perf report.
 //!
 //! Runs a pinned workload set — the TestSmall hammer microbenchmark, one
+//! per-mode microbenchmark for every non-default hammer strategy, one
 //! Table I attack cell, and the 30-cell golden campaign matrix — and records
 //! every deterministic simulator counter plus host wall time per workload.
 //!
@@ -18,7 +19,8 @@ use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use pthammer_bench::scenarios::hammer_microbench;
+use pthammer::HammerMode;
+use pthammer_bench::scenarios::{hammer_microbench, hammer_mode_microbench};
 use pthammer_bench::{ExperimentScale, MachineChoice};
 use pthammer_harness::{
     run_campaign_instrumented, run_cell_instrumented, CampaignConfig, CellCoord, CellPerf,
@@ -66,6 +68,39 @@ fn hammer_loop_workload() -> WorkloadPerf {
     WorkloadPerf::new("hammer_loop_test_small", counters, bench.wall_ns)
 }
 
+/// Workloads 2–4: the same measured hammer loop under each non-default
+/// strategy — the per-mode cost/behavior trajectory of the strategy layer.
+fn hammer_mode_workloads() -> Vec<WorkloadPerf> {
+    HammerMode::all()
+        .into_iter()
+        .filter(|m| !m.is_default())
+        .map(|mode| {
+            let bench = hammer_mode_microbench(
+                MachineChoice::TestSmall,
+                ExperimentScale::scaled(),
+                mode,
+                MICROBENCH_ROUNDS,
+                MICROBENCH_SEED,
+            );
+            let mut counters = bench.counters.named();
+            counters.insert("hammer_iterations".to_string(), bench.accounting.iterations);
+            counters.insert(
+                "cycles_per_iteration".to_string(),
+                bench.accounting.cycles_per_iteration(),
+            );
+            counters.insert("sim_cycles".to_string(), bench.accounting.sim_cycles);
+            let name = format!("hammer_loop_test_small_{}", mode.name().replace('-', "_"));
+            println!(
+                "{name}: {} iters, {} cyc/iter, dram rate {:.3}",
+                bench.accounting.iterations,
+                bench.accounting.cycles_per_iteration(),
+                bench.implicit_dram_rate,
+            );
+            WorkloadPerf::new(&name, counters, bench.wall_ns)
+        })
+        .collect()
+}
+
 fn cell_counters(perf: &CellPerf) -> BTreeMap<String, u64> {
     let mut counters = perf.counters.named();
     counters.insert("hammer_iterations".to_string(), perf.hammer_iterations);
@@ -80,6 +115,7 @@ fn table1_cell_workload() -> WorkloadPerf {
         machine: MachineChoice::LenovoT420,
         defense: DefenseChoice::None,
         profile: ProfileChoice::Fast,
+        hammer_mode: HammerMode::default(),
         repetition: 0,
     };
     let config = CampaignConfig::ci(GOLDEN_BASE_SEED);
@@ -133,11 +169,11 @@ fn campaign_workload() -> WorkloadPerf {
 
 fn main() -> ExitCode {
     let check = std::env::args().any(|a| a == "--check");
-    let report = PerfReport::new(vec![
-        hammer_loop_workload(),
-        table1_cell_workload(),
-        campaign_workload(),
-    ]);
+    let mut workloads = vec![hammer_loop_workload()];
+    workloads.extend(hammer_mode_workloads());
+    workloads.push(table1_cell_workload());
+    workloads.push(campaign_workload());
+    let report = PerfReport::new(workloads);
     let path = baseline_path();
 
     if check {

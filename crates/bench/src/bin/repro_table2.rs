@@ -1,15 +1,43 @@
 //! Reproduces Table II: per-stage attack timings and time to the first flip.
+//!
+//! `--mode <name>` selects the hammer strategy the attack pipeline runs
+//! (`implicit-double-sided` (default), `explicit-double-sided`,
+//! `implicit-single-sided`, `implicit-one-location`).
+use pthammer::HammerMode;
 use pthammer_bench::{scenarios, table, ExperimentScale, MachineChoice};
+
+fn mode_from_args() -> HammerMode {
+    let args: Vec<String> = std::env::args().collect();
+    match args.iter().position(|a| a == "--mode") {
+        Some(i) => {
+            let name = args.get(i + 1).unwrap_or_else(|| {
+                eprintln!("--mode requires a value; one of:");
+                for m in HammerMode::all() {
+                    eprintln!("  {}", m.name());
+                }
+                std::process::exit(2);
+            });
+            name.parse().unwrap_or_else(|e| {
+                eprintln!("{e}");
+                std::process::exit(2);
+            })
+        }
+        None => HammerMode::default(),
+    }
+}
 
 fn main() {
     let scale = ExperimentScale::from_env();
+    let mode = mode_from_args();
     println!("scale: {}", scale.describe());
-    let widths = [14, 10, 12, 12, 12, 12, 12, 10, 12, 14, 10];
+    println!("hammer mode: {mode}");
+    let widths = [14, 10, 22, 12, 12, 12, 12, 12, 10, 12, 14, 10];
     table::header(
         "Table II: PThammer stage timings (simulated time)",
         &[
             "Machine",
             "Setting",
+            "Mode",
             "TLBprep(ms)",
             "LLCprep(s)",
             "TLBsel(us)",
@@ -24,11 +52,12 @@ fn main() {
     );
     for machine in MachineChoice::selected() {
         for superpages in [true, false] {
-            let row = scenarios::table2_run(machine, superpages, scale, 42);
+            let row = scenarios::table2_run_mode(machine, superpages, scale, mode, 42);
             table::row(
                 &[
                     row.machine.clone(),
                     row.setting.clone(),
+                    row.hammer_mode.name().to_string(),
                     table::fmt_f64(row.tlb_prep_ms, 2),
                     table::fmt_f64(row.llc_prep_s, 2),
                     table::fmt_f64(row.tlb_select_us, 2),

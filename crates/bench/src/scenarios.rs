@@ -5,7 +5,7 @@ use pthammer::{
     hammer::{ExplicitHammer, ExplicitHammerConfig, ExplicitMode},
     pairs::{candidate_pairs, conflict_threshold, verify_same_bank},
     spray::spray_page_tables,
-    AttackConfig, AttackOutcome, ImplicitHammer, PtHammer,
+    AttackConfig, AttackOutcome, HammerMode, ImplicitHammer, PtHammer,
 };
 use pthammer_defenses::{AnvilDetector, AnvilMode};
 use pthammer_dram::{FlipModelProfile, TrrConfig};
@@ -72,7 +72,7 @@ impl ExperimentScale {
     pub fn attack_config(&self, seed: u64, superpages: bool) -> AttackConfig {
         let mut campaign = self.campaign_config(seed);
         campaign.superpages = superpages;
-        campaign.attack_config(seed, DefenseChoice::None)
+        campaign.attack_config(seed, DefenseChoice::None, HammerMode::default())
     }
 
     /// Human-readable description of the scale.
@@ -353,6 +353,82 @@ pub fn hammer_microbench(
     }
 }
 
+/// Runs the pinned hammer microbenchmark for an arbitrary [`HammerMode`]:
+/// prepares the attack, arms the first candidate pair the strategy accepts,
+/// then drives the strategy's exact per-round op pattern `rounds` times with
+/// perf counters bracketing the loop.
+///
+/// The default-mode variant [`hammer_microbench`] is kept separate (and
+/// byte-identical to its historical behavior) because `BENCH_perf.json`
+/// pins its counters; this function backs the per-mode perf workloads and
+/// the `repro_table1 --measured` mode table.
+pub fn hammer_mode_microbench(
+    machine: MachineChoice,
+    scale: ExperimentScale,
+    mode: HammerMode,
+    rounds: u64,
+    seed: u64,
+) -> HammerMicrobench {
+    let superpages = machine != MachineChoice::TestSmall;
+    let mut sys = boot(
+        machine,
+        scale,
+        superpages,
+        Box::new(DefaultPolicy::new()),
+        seed,
+    );
+    let clock_hz = sys.machine().clock_hz();
+    let pid = sys.spawn_process(1000).expect("spawn");
+    let mut config = scale.attack_config(seed, superpages);
+    config.hammer_mode = mode;
+    let attack = PtHammer::new(config.clone()).expect("config");
+    let prepared = attack.prepare(&mut sys, pid).expect("prepare");
+    let row_span = sys.machine().config().dram.geometry.row_span_bytes();
+    let threshold = conflict_threshold(&sys);
+    let strategy = mode.strategy();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut armed = None;
+    'search: for _ in 0..16 {
+        for pair in candidate_pairs(&prepared.spray, row_span, 4, &mut rng) {
+            let arm = strategy
+                .arm(&mut sys, pid, pair, &prepared, &config, threshold)
+                .expect("arm");
+            if let Some(a) = arm.armed {
+                armed = Some(a);
+                break 'search;
+            }
+        }
+    }
+    let armed = armed.unwrap_or_else(|| panic!("no armable candidate pair for {mode:?}"));
+    let ops = strategy.round_ops();
+    for _ in 0..10 {
+        armed.hammer_round(&mut sys, pid, ops).expect("warm up");
+    }
+
+    let before = MachineCounters::capture(sys.machine());
+    let watch = Stopwatch::start();
+    let mut total_cycles = 0u64;
+    let mut dram_hits = 0u64;
+    for _ in 0..rounds {
+        let round = armed.hammer_round(&mut sys, pid, ops).expect("round");
+        total_cycles += round.cycles;
+        dram_hits += u64::from(round.low_dram) + u64::from(round.high_dram);
+    }
+    let wall_ns = watch.elapsed_ns();
+    let counters = MachineCounters::capture(sys.machine()).since(&before);
+    let implicit_touches = strategy.implicit_touches_per_round() * rounds;
+    HammerMicrobench {
+        accounting: HammerAccounting::new(rounds, total_cycles, clock_hz),
+        counters,
+        implicit_dram_rate: if implicit_touches == 0 {
+            0.0
+        } else {
+            dram_hits as f64 / implicit_touches as f64
+        },
+        wall_ns,
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Table II: end-to-end attack timings
 // ---------------------------------------------------------------------------
@@ -364,6 +440,8 @@ pub struct Table2Row {
     pub machine: String,
     /// "regular" or "superpage".
     pub setting: String,
+    /// The hammer strategy the attack ran.
+    pub hammer_mode: HammerMode,
     /// TLB pool preparation (milliseconds, simulated).
     pub tlb_prep_ms: f64,
     /// LLC pool preparation (seconds, simulated).
@@ -395,6 +473,18 @@ pub fn table2_run(
     scale: ExperimentScale,
     seed: u64,
 ) -> Table2Row {
+    table2_run_mode(machine, superpages, scale, HammerMode::default(), seed)
+}
+
+/// [`table2_run`] with an explicit hammer strategy (the `repro_table2
+/// --mode` path).
+pub fn table2_run_mode(
+    machine: MachineChoice,
+    superpages: bool,
+    scale: ExperimentScale,
+    mode: HammerMode,
+    seed: u64,
+) -> Table2Row {
     let mut sys = boot(
         machine,
         scale,
@@ -404,7 +494,9 @@ pub fn table2_run(
     );
     let clock_hz = sys.machine().clock_hz();
     let pid = sys.spawn_process(1000).expect("spawn");
-    let attack = PtHammer::new(scale.attack_config(seed, superpages)).expect("config");
+    let mut config = scale.attack_config(seed, superpages);
+    config.hammer_mode = mode;
+    let attack = PtHammer::new(config).expect("config");
     let outcome = attack.run(&mut sys, pid).expect("attack run");
     table2_row_from_outcome(&outcome, clock_hz)
 }
@@ -424,7 +516,8 @@ pub fn table2_row_from_outcome(outcome: &AttackOutcome, clock_hz: f64) -> Table2
     );
     Table2Row {
         machine: outcome.machine.clone(),
-        setting: outcome.page_setting.clone(),
+        setting: outcome.page_setting.name().to_string(),
+        hammer_mode: outcome.hammer_mode,
         tlb_prep_ms: s(outcome.timings.tlb_pool_prep_cycles) * 1e3,
         llc_prep_s: s(outcome.timings.llc_pool_prep_cycles),
         tlb_select_us: s(outcome.timings.tlb_selection_cycles) * 1e6,
@@ -623,11 +716,12 @@ pub fn defense_eval(
         machine,
         defense,
         profile: scale.profile_choice(),
+        hammer_mode: HammerMode::default(),
         repetition: 0,
     };
     let cell = run_cell(&coord, &config);
     DefenseResult {
-        defense: cell.defense,
+        defense: cell.defense.name().to_string(),
         escalated: cell.escalated,
         flips_observed: cell.flips_observed,
         exploitable_flips: cell.exploitable_flips,
@@ -838,8 +932,9 @@ mod tests {
         let outcome = AttackOutcome {
             machine: "M".into(),
             clock_hz: 1e9,
-            page_setting: "regular".into(),
-            defense: "none".into(),
+            page_setting: pthammer::PageSetting::Regular,
+            defense: pthammer_kernel::DefenseKind::Undefended,
+            hammer_mode: HammerMode::ImplicitDoubleSided,
             escalated: true,
             route: None,
             attempts: 1,

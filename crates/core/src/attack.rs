@@ -1,43 +1,27 @@
 //! End-to-end PThammer orchestration.
 //!
 //! [`PtHammer::run`] executes the complete attack of the paper against a
-//! booted [`System`]: one-off eviction-pool preparation, page-table spraying,
-//! repeated pair selection / double-sided implicit hammering / checking, and
-//! finally exploitation of the first usable bit flip. The returned
-//! [`AttackOutcome`] carries the per-stage timings that Table II reports.
-
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+//! booted [`System`] by driving the staged pipeline of [`crate::pipeline`]:
+//! `Prepare → PairSelect → Hammer → Detect → Exploit`, with the hammer
+//! strategy selected by [`AttackConfig::hammer_mode`]. The returned
+//! [`AttackOutcome`] carries the per-stage timings that Table II reports —
+//! derived from the pipeline's event stream. [`PtHammer::run_observed`]
+//! additionally attaches external [`EventSink`] subscribers to that stream.
 
 use pthammer_kernel::{Pid, System};
 
 use crate::config::AttackConfig;
-use crate::detect::scan_for_corrupted_mappings;
 use crate::error::AttackError;
-use crate::eviction::llc::LlcEvictionPool;
-use crate::eviction::tlb::TlbEvictionPool;
-use crate::exploit::attempt_escalation;
-use crate::hammer::implicit::ImplicitHammer;
-use crate::pairs::{candidate_pairs, conflict_threshold, verify_same_bank};
-use crate::report::{AttackOutcome, StageTimings};
-use crate::spray::spray_page_tables;
+use crate::events::EventSink;
+use crate::pipeline::{self, AttackPipeline};
+use crate::report::AttackOutcome;
+
+pub use crate::pipeline::PreparedAttack;
 
 /// The PThammer attack, parameterised by an [`AttackConfig`].
 #[derive(Debug, Clone)]
 pub struct PtHammer {
     config: AttackConfig,
-}
-
-/// The prepared one-off state (pools + spray), exposed so that the benchmark
-/// harness can time and reuse the stages individually.
-#[derive(Debug, Clone)]
-pub struct PreparedAttack {
-    /// TLB eviction pool.
-    pub tlb_pool: TlbEvictionPool,
-    /// LLC eviction pool.
-    pub llc_pool: LlcEvictionPool,
-    /// The page-table spray region.
-    pub spray: crate::spray::SprayRegion,
 }
 
 impl PtHammer {
@@ -59,194 +43,50 @@ impl PtHammer {
     /// Number of pages in the TLB eviction sets the attack uses: the paper's
     /// 12 on the Table I machines (`L1 ways + 2 × L2 ways`).
     pub fn tlb_eviction_pages(sys: &System) -> usize {
-        let mmu = &sys.machine().config().mmu;
-        (mmu.l1_dtlb.ways + 2 * mmu.l2_stlb.ways) as usize
+        pipeline::tlb_eviction_pages(sys)
     }
 
     /// Number of lines in the LLC eviction sets: one more than the LLC
     /// associativity (13 on the Lenovo machines, 17 on the Dell).
     pub fn llc_eviction_lines(sys: &System) -> usize {
-        sys.machine().config().cache.llc.ways as usize + 1
+        pipeline::llc_eviction_lines(sys)
     }
 
     /// Runs the one-off preparation: TLB pool, LLC pool and the spray.
     pub fn prepare(&self, sys: &mut System, pid: Pid) -> Result<PreparedAttack, AttackError> {
-        let tlb_pool =
-            TlbEvictionPool::build(sys, pid, &self.config, Self::tlb_eviction_pages(sys))?;
-        let llc_pool =
-            LlcEvictionPool::build(sys, pid, &self.config, Self::llc_eviction_lines(sys))?;
-        let spray = spray_page_tables(sys, pid, &self.config)?;
-        Ok(PreparedAttack {
-            tlb_pool,
-            llc_pool,
-            spray,
-        })
+        pipeline::prepare_attack(sys, pid, &self.config)
     }
 
     /// Runs the full attack.
     pub fn run(&self, sys: &mut System, pid: Pid) -> Result<AttackOutcome, AttackError> {
-        let attack_start = sys.rdtsc();
-        let uid_before = sys.getuid(pid)?;
-        let machine = sys.machine().config().name.clone();
-        let clock_hz = sys.machine().clock_hz();
-        let defense = sys.policy_name().to_string();
-        let page_setting = if self.config.superpages {
-            "superpage".to_string()
-        } else {
-            "regular".to_string()
-        };
+        AttackPipeline::new(&self.config).run(sys, pid)
+    }
 
-        let prepared = self.prepare(sys, pid)?;
-        let row_span = sys.machine().config().dram.geometry.row_span_bytes();
-        let conflict_thr = conflict_threshold(sys);
-        let mut rng = StdRng::seed_from_u64(self.config.seed);
-
-        let mut timings = StageTimings {
-            tlb_pool_prep_cycles: prepared.tlb_pool.prep_cycles(),
-            llc_pool_prep_cycles: prepared.llc_pool.prep_cycles(),
-            ..StageTimings::default()
-        };
-
-        let mut attempts = 0usize;
-        let mut hammer_iterations = 0u64;
-        let mut flips_observed = 0usize;
-        let mut exploitable_flips = 0usize;
-        let mut hammer_cycles_total = 0u64;
-        let mut check_cycles_total = 0u64;
-        let mut selection_cycles_total = 0u64;
-        let mut tlb_selection_cycles_total = 0u64;
-        let mut hammer_cycle_samples = Vec::new();
-        let mut dram_hits = 0u64;
-        let mut dram_rounds = 0u64;
-        let mut route = None;
-        let mut escalated_uid_after = uid_before;
-
-        'attempts: while attempts < self.config.max_attempts
-            && flips_observed < self.config.max_flips
-        {
-            let pairs = candidate_pairs(
-                &prepared.spray,
-                row_span,
-                self.config.pair_candidates_per_round,
-                &mut rng,
-            );
-            if pairs.is_empty() {
-                return Err(AttackError::NoHammerPairs);
-            }
-            for pair in pairs {
-                if attempts >= self.config.max_attempts {
-                    break 'attempts;
-                }
-                attempts += 1;
-
-                // Eviction-set selection for this pair.
-                let tlb_sel_start = sys.rdtsc();
-                let tlb_low = prepared.tlb_pool.minimal_eviction_set_for(pair.low);
-                let tlb_high = prepared.tlb_pool.minimal_eviction_set_for(pair.high);
-                tlb_selection_cycles_total += sys.rdtsc() - tlb_sel_start;
-                let _ = (&tlb_low, &tlb_high);
-
-                let hammer = ImplicitHammer::prepare(
-                    sys,
-                    pid,
-                    pair,
-                    &prepared.tlb_pool,
-                    &prepared.llc_pool,
-                    self.config.llc_profile_trials,
-                )?;
-                selection_cycles_total += hammer.selection_cycles();
-
-                // Same-bank verification; skip pairs that do not conflict.
-                let verification = verify_same_bank(
-                    sys,
-                    pid,
-                    pair,
-                    &hammer.tlb_low,
-                    &hammer.tlb_high,
-                    &hammer.llc_low,
-                    &hammer.llc_high,
-                    conflict_thr,
-                    5,
-                )?;
-                if !verification.same_bank {
-                    continue;
-                }
-
-                // Double-sided implicit hammering.
-                let stats = hammer.hammer(sys, pid, self.config.hammer_rounds_per_attempt)?;
-                hammer_cycles_total += stats.total_cycles;
-                hammer_iterations += stats.rounds;
-                dram_hits += stats.low_dram_hits + stats.high_dram_hits;
-                dram_rounds += 2 * stats.rounds;
-                if hammer_cycle_samples.len() < 50 {
-                    hammer_cycle_samples.extend(hammer.round_cycle_samples(sys, pid, 10)?);
-                }
-
-                // Check for corrupted mappings.
-                let (findings, check_cycles) =
-                    scan_for_corrupted_mappings(sys, pid, &prepared.spray, &pair, row_span)?;
-                check_cycles_total += check_cycles;
-                if !findings.is_empty() && timings.time_to_first_flip_cycles.is_none() {
-                    timings.time_to_first_flip_cycles = Some(sys.rdtsc() - attack_start);
-                }
-                flips_observed += findings.len();
-                exploitable_flips += findings.iter().filter(|f| f.is_exploitable()).count();
-
-                for finding in findings.iter().filter(|f| f.is_exploitable()) {
-                    if let Some(found_route) = attempt_escalation(
-                        sys,
-                        pid,
-                        &prepared.tlb_pool,
-                        &prepared.spray,
-                        finding,
-                        uid_before,
-                    )? {
-                        timings.time_to_escalation_cycles = Some(sys.rdtsc() - attack_start);
-                        escalated_uid_after = sys.getuid(found_route.escalated_pid())?;
-                        route = Some(found_route);
-                        break 'attempts;
-                    }
-                }
-            }
+    /// Runs the full attack with external event subscribers attached to the
+    /// pipeline's bus. Sinks only observe — a run with subscribers is
+    /// byte-identical to [`PtHammer::run`].
+    pub fn run_observed(
+        &self,
+        sys: &mut System,
+        pid: Pid,
+        sinks: &mut [&mut dyn EventSink],
+    ) -> Result<AttackOutcome, AttackError> {
+        let mut pipeline = AttackPipeline::new(&self.config);
+        for sink in sinks {
+            pipeline.subscribe(*sink);
         }
-
-        let attempts_u64 = attempts.max(1) as u64;
-        timings.tlb_selection_cycles = tlb_selection_cycles_total / attempts_u64;
-        timings.llc_selection_cycles = selection_cycles_total / attempts_u64;
-        timings.hammer_cycles_per_attempt = hammer_cycles_total / attempts_u64;
-        timings.check_cycles_per_attempt = check_cycles_total / attempts_u64;
-
-        let escalated = route.is_some();
-        Ok(AttackOutcome {
-            machine,
-            clock_hz,
-            page_setting,
-            defense,
-            escalated,
-            route,
-            attempts,
-            hammer_iterations,
-            hammer_cycles_total,
-            flips_observed,
-            exploitable_flips,
-            uid_before,
-            uid_after: escalated_uid_after,
-            timings,
-            hammer_cycle_samples,
-            implicit_dram_rate: if dram_rounds == 0 {
-                0.0
-            } else {
-                dram_hits as f64 / dram_rounds as f64
-            },
-        })
+        pipeline.run(sys, pid)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::events::{AttackEvent, AttackPhase};
+    use crate::hammer::strategy::HammerMode;
     use pthammer_cache::{CacheHierarchyConfig, LlcConfig, ReplacementPolicy};
     use pthammer_dram::FlipModelProfile;
+    use pthammer_kernel::DefenseKind;
     use pthammer_machine::MachineConfig;
 
     /// A vulnerable machine small enough for an end-to-end attack in a test.
@@ -298,6 +138,8 @@ mod tests {
         let outcome = attack.run(&mut sys, pid).unwrap();
 
         assert_eq!(outcome.uid_before, 1000);
+        assert_eq!(outcome.defense, DefenseKind::Undefended);
+        assert_eq!(outcome.hammer_mode, HammerMode::ImplicitDoubleSided);
         assert!(outcome.attempts >= 1);
         assert!(
             outcome.flips_observed >= 1,
@@ -313,5 +155,72 @@ mod tests {
             assert_eq!(outcome.uid_after, 0);
             assert!(outcome.timings.time_to_escalation_cycles.is_some());
         }
+    }
+
+    /// An event recorder asserting the pipeline's phase protocol: balanced
+    /// enter/exit pairs, `Prepare` exactly once, and subscriber-derived
+    /// counts matching the outcome.
+    #[derive(Default)]
+    struct Protocol {
+        entered: Vec<AttackPhase>,
+        exited: Vec<AttackPhase>,
+        attempts: usize,
+        iterations: u64,
+        flips: usize,
+    }
+
+    impl EventSink for Protocol {
+        fn on_event(&mut self, event: &AttackEvent) {
+            match event {
+                AttackEvent::PhaseEntered { phase, .. } => self.entered.push(*phase),
+                AttackEvent::PhaseExited { phase, .. } => self.exited.push(*phase),
+                AttackEvent::AttemptStarted { .. } => self.attempts += 1,
+                AttackEvent::HammerFinished { stats, .. } => self.iterations += stats.rounds,
+                AttackEvent::FlipObserved { .. } => self.flips += 1,
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn observed_run_streams_consistent_events_and_identical_outcome() {
+        let config = AttackConfig {
+            spray_bytes: 640 << 20,
+            hammer_rounds_per_attempt: 800,
+            max_attempts: 4,
+            llc_profile_trials: 6,
+            ..AttackConfig::quick_test(11, false)
+        };
+        let attack = PtHammer::new(config).unwrap();
+
+        let mut sys = System::undefended(vulnerable_test_machine(11));
+        let pid = sys.spawn_process(1000).unwrap();
+        let plain = attack.run(&mut sys, pid).unwrap();
+
+        let mut sys = System::undefended(vulnerable_test_machine(11));
+        let pid = sys.spawn_process(1000).unwrap();
+        let mut protocol = Protocol::default();
+        let observed = attack
+            .run_observed(&mut sys, pid, &mut [&mut protocol])
+            .unwrap();
+
+        // Subscribers only observe: the outcome is identical either way.
+        assert_eq!(plain, observed);
+        // Balanced phase protocol, Prepare exactly once and first.
+        assert_eq!(protocol.entered, protocol.exited);
+        assert_eq!(protocol.entered[0], AttackPhase::Prepare);
+        assert_eq!(
+            protocol
+                .entered
+                .iter()
+                .filter(|p| **p == AttackPhase::Prepare)
+                .count(),
+            1
+        );
+        // The event stream carries the same headline numbers the outcome
+        // reports — no re-derivation needed.
+        assert_eq!(protocol.attempts, observed.attempts);
+        assert_eq!(protocol.iterations, observed.hammer_iterations);
+        assert_eq!(protocol.flips, observed.flips_observed);
     }
 }

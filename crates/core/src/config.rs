@@ -2,6 +2,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::hammer::strategy::HammerMode;
+
 /// Tunable parameters of a PThammer run.
 ///
 /// The defaults follow the paper's setup scaled to the simulated machines;
@@ -11,6 +13,9 @@ use serde::{Deserialize, Serialize};
 pub struct AttackConfig {
     /// Seed for the attacker's own pseudo-random choices.
     pub seed: u64,
+    /// Which hammer strategy the pipeline runs (the paper's implicit
+    /// double-sided attack by default).
+    pub hammer_mode: HammerMode,
     /// Whether the system has superpages enabled (changes how the LLC
     /// eviction pool is prepared, cf. Table II).
     pub superpages: bool,
@@ -43,6 +48,7 @@ impl AttackConfig {
     pub fn paper(seed: u64, superpages: bool) -> Self {
         Self {
             seed,
+            hammer_mode: HammerMode::default(),
             superpages,
             spray_bytes: 4 << 30,
             eviction_buffer_factor: 2.0,
@@ -62,6 +68,7 @@ impl AttackConfig {
     pub fn quick_test(seed: u64, superpages: bool) -> Self {
         Self {
             seed,
+            hammer_mode: HammerMode::default(),
             superpages,
             spray_bytes: 768 << 20,
             eviction_buffer_factor: 2.0,
@@ -109,6 +116,19 @@ impl Default for AttackConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn presets_default_to_the_paper_mode() {
+        assert_eq!(
+            AttackConfig::paper(1, false).hammer_mode,
+            HammerMode::ImplicitDoubleSided
+        );
+        assert_eq!(
+            AttackConfig::quick_test(1, false).hammer_mode,
+            HammerMode::ImplicitDoubleSided
+        );
+        assert!(HammerMode::default().is_default());
+    }
 
     #[test]
     fn presets_validate() {

@@ -1,8 +1,13 @@
-//! Hammering primitives: the implicit (PThammer) primitive and the explicit
-//! baselines it is compared against.
+//! Hammering primitives: the implicit (PThammer) primitive, the explicit
+//! baselines it is compared against, and the pluggable strategy layer the
+//! attack pipeline selects between.
 
 pub mod explicit;
 pub mod implicit;
+pub mod strategy;
 
 pub use explicit::{ExplicitHammer, ExplicitHammerConfig, ExplicitMode, FirstFlip};
 pub use implicit::{HammerStats, ImplicitHammer};
+pub use strategy::{
+    ArmResult, ArmedPair, HammerMode, HammerStrategy, RoundOp, RoundOutcome, Target,
+};

@@ -24,9 +24,14 @@
 //! * [`spray`] — page-table spraying.
 //! * [`pairs`] — double-sided pair selection and row-buffer-conflict
 //!   verification.
-//! * [`hammer`] — the implicit-hammer primitive and explicit baselines.
+//! * [`hammer`] — the implicit-hammer primitive, explicit baselines, and the
+//!   pluggable [`HammerStrategy`] layer selected by [`HammerMode`].
 //! * [`detect`] / [`exploit`] — finding corrupted mappings and escalating.
-//! * [`attack`] — end-to-end orchestration ([`PtHammer`]).
+//! * [`pipeline`] — the staged `Prepare → PairSelect → Hammer → Detect →
+//!   Exploit` pipeline over a shared [`pipeline::AttackCtx`].
+//! * [`events`] — the typed event bus the pipeline narrates itself on; all
+//!   timing accounting is an event subscriber.
+//! * [`attack`] — the [`PtHammer`] entry points driving the pipeline.
 //!
 //! ## Example
 //!
@@ -58,10 +63,12 @@ pub mod attack;
 pub mod config;
 pub mod detect;
 pub mod error;
+pub mod events;
 pub mod eviction;
 pub mod exploit;
 pub mod hammer;
 pub mod pairs;
+pub mod pipeline;
 pub mod report;
 pub mod spray;
 
@@ -69,12 +76,17 @@ pub use attack::{PreparedAttack, PtHammer};
 pub use config::AttackConfig;
 pub use detect::{CapturedPageKind, FlipFinding};
 pub use error::AttackError;
+pub use events::{AttackEvent, AttackPhase, EventBus, EventSink, PipelineAccounting};
 pub use eviction::{
     LlcCalibration, LlcEvictionPool, SelectedEvictionSet, TlbCalibration, TlbEvictionPool,
     TlbEvictionSet, TlbMapping,
 };
 pub use exploit::EscalationRoute;
-pub use hammer::{ExplicitHammer, ExplicitHammerConfig, ExplicitMode, HammerStats, ImplicitHammer};
+pub use hammer::{
+    ExplicitHammer, ExplicitHammerConfig, ExplicitMode, HammerMode, HammerStats, HammerStrategy,
+    ImplicitHammer, RoundOp, Target,
+};
 pub use pairs::{HammerPair, PairVerification};
-pub use report::{AttackOutcome, StageTimings};
+pub use pipeline::{AttackCtx, AttackPipeline};
+pub use report::{AttackOutcome, PageSetting, StageTimings};
 pub use spray::{SprayRegion, SPRAY_PATTERN};

@@ -1,8 +1,72 @@
 //! Attack outcome reporting (the data behind Table II and Section IV-F/G).
 
+use std::fmt;
+use std::str::FromStr;
+
+use serde::ser::JsonWriter;
 use serde::{Deserialize, Serialize};
 
+use pthammer_kernel::DefenseKind;
+
 use crate::exploit::EscalationRoute;
+use crate::hammer::strategy::HammerMode;
+
+/// The system's page-size setting during the attack (Table II's "regular" vs
+/// "superpage" columns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PageSetting {
+    /// 4 KiB pages only.
+    Regular,
+    /// Transparent superpages enabled.
+    Superpage,
+}
+
+impl PageSetting {
+    /// The setting implied by an `AttackConfig::superpages` flag.
+    pub fn from_superpages(superpages: bool) -> Self {
+        if superpages {
+            PageSetting::Superpage
+        } else {
+            PageSetting::Regular
+        }
+    }
+
+    /// Canonical display name (also the canonical JSON serialization).
+    pub fn name(&self) -> &'static str {
+        match self {
+            PageSetting::Regular => "regular",
+            PageSetting::Superpage => "superpage",
+        }
+    }
+}
+
+impl fmt::Display for PageSetting {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for PageSetting {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "regular" => Ok(PageSetting::Regular),
+            "superpage" => Ok(PageSetting::Superpage),
+            other => Err(format!("unknown page setting `{other}`")),
+        }
+    }
+}
+
+// Hand-written: the offline serde stub has no `rename` support and reports
+// pin the historical lowercase strings.
+impl Serialize for PageSetting {
+    fn serialize(&self, w: &mut JsonWriter) {
+        w.string(self.name());
+    }
+}
+
+impl Deserialize for PageSetting {}
 
 /// Simulated-cycle timings of the attack stages, mirroring the columns of
 /// Table II in the paper.
@@ -41,10 +105,12 @@ pub struct AttackOutcome {
     pub machine: String,
     /// Nominal clock frequency (Hz) used to convert cycles to seconds.
     pub clock_hz: f64,
-    /// "regular" or "superpage" system setting.
-    pub page_setting: String,
-    /// Name of the active placement policy / defense.
-    pub defense: String,
+    /// The system's page-size setting ("regular" or "superpage").
+    pub page_setting: PageSetting,
+    /// Typed identity of the active placement policy / defense.
+    pub defense: DefenseKind,
+    /// The hammer strategy the pipeline ran.
+    pub hammer_mode: HammerMode,
     /// Whether kernel privilege escalation succeeded.
     pub escalated: bool,
     /// How escalation was achieved, if it was.
@@ -105,8 +171,9 @@ mod tests {
         AttackOutcome {
             machine: "Test".to_string(),
             clock_hz: 2.6e9,
-            page_setting: "regular".to_string(),
-            defense: "default".to_string(),
+            page_setting: PageSetting::Regular,
+            defense: DefenseKind::Undefended,
+            hammer_mode: HammerMode::ImplicitDoubleSided,
             escalated: true,
             route: Some(EscalationRoute::PageTableTakeover { escalated_pid: 1 }),
             attempts: 3,
@@ -152,5 +219,20 @@ mod tests {
         assert!(debug.contains("escalated: true"));
         assert!(debug.contains("Test"));
         assert!(debug.contains("implicit_dram_rate"));
+        assert!(debug.contains("ImplicitDoubleSided"));
+    }
+
+    #[test]
+    fn page_setting_round_trips_and_serializes_canonically() {
+        assert_eq!(PageSetting::from_superpages(false), PageSetting::Regular);
+        assert_eq!(PageSetting::from_superpages(true), PageSetting::Superpage);
+        for s in [PageSetting::Regular, PageSetting::Superpage] {
+            assert_eq!(s.name().parse::<PageSetting>().unwrap(), s);
+            assert_eq!(s.to_string(), s.name());
+        }
+        assert!("huge".parse::<PageSetting>().is_err());
+        let mut w = JsonWriter::new(false);
+        PageSetting::Superpage.serialize(&mut w);
+        assert_eq!(w.into_string(), "\"superpage\"");
     }
 }

@@ -1,7 +1,7 @@
 //! CATT: CAn't-Touch-This (Brasser et al., USENIX Security 2017).
 
 use pthammer_dram::DramGeometry;
-use pthammer_kernel::{BuddyAllocator, FramePurpose, PlacementPolicy};
+use pthammer_kernel::{BuddyAllocator, DefenseKind, FramePurpose, PlacementPolicy};
 
 use crate::{row_of_frame, total_rows};
 
@@ -61,6 +61,10 @@ impl CattPolicy {
 impl PlacementPolicy for CattPolicy {
     fn name(&self) -> &str {
         "CATT (kernel/user DRAM partitioning)"
+    }
+
+    fn kind(&self) -> DefenseKind {
+        DefenseKind::Catt
     }
 
     fn allocate(&mut self, purpose: FramePurpose, buddy: &mut BuddyAllocator) -> Option<u64> {

@@ -6,7 +6,7 @@
 //! shared by the campaign harness, the bench scenarios, and the examples.
 
 use pthammer_dram::FlipModel;
-use pthammer_kernel::{DefaultPolicy, KernelConfig, PlacementPolicy, System};
+use pthammer_kernel::{DefaultPolicy, DefenseKind, KernelConfig, PlacementPolicy, System};
 use pthammer_machine::MachineConfig;
 use serde::{Deserialize, Serialize};
 
@@ -38,14 +38,22 @@ impl DefenseChoice {
         ]
     }
 
-    /// Display name.
+    /// Display name (delegates to the typed [`DefenseKind`] so the spelling
+    /// exists in exactly one place).
     pub fn name(&self) -> &'static str {
+        self.kind().name()
+    }
+
+    /// The typed defense identity this choice builds; the same value every
+    /// policy built by [`DefenseChoice::policy`] reports from
+    /// [`PlacementPolicy::kind`].
+    pub fn kind(&self) -> DefenseKind {
         match self {
-            DefenseChoice::None => "undefended",
-            DefenseChoice::Catt => "CATT",
-            DefenseChoice::RipRh => "RIP-RH",
-            DefenseChoice::Cta => "CTA",
-            DefenseChoice::Zebram => "ZebRAM",
+            DefenseChoice::None => DefenseKind::Undefended,
+            DefenseChoice::Catt => DefenseKind::Catt,
+            DefenseChoice::RipRh => DefenseKind::RipRh,
+            DefenseChoice::Cta => DefenseKind::Cta,
+            DefenseChoice::Zebram => DefenseKind::Zebram,
         }
     }
 
@@ -100,8 +108,14 @@ mod tests {
         for defense in DefenseChoice::all() {
             let policy = defense.policy(&machine);
             assert!(!policy.name().is_empty());
+            assert_eq!(
+                policy.kind(),
+                defense.kind(),
+                "policy built by {defense:?} must report the matching kind"
+            );
         }
         assert_eq!(DefenseChoice::Cta.name(), "CTA");
+        assert_eq!(DefenseChoice::None.kind(), DefenseKind::Undefended);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! CTA: Cell-Type-Aware page-table protection (Wu et al., ASPLOS 2019).
 
 use pthammer_dram::{DramGeometry, FlipModel};
-use pthammer_kernel::{BuddyAllocator, FramePurpose, PlacementPolicy};
+use pthammer_kernel::{BuddyAllocator, DefenseKind, FramePurpose, PlacementPolicy};
 
 use crate::{frames_per_row, row_of_frame, total_rows};
 
@@ -95,6 +95,10 @@ impl CtaPolicy {
 impl PlacementPolicy for CtaPolicy {
     fn name(&self) -> &str {
         "CTA (true-cell L1PT region with monotonic pointers)"
+    }
+
+    fn kind(&self) -> DefenseKind {
+        DefenseKind::Cta
     }
 
     fn allocate(&mut self, purpose: FramePurpose, buddy: &mut BuddyAllocator) -> Option<u64> {

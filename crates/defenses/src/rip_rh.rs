@@ -3,7 +3,7 @@
 use std::collections::HashMap;
 
 use pthammer_dram::DramGeometry;
-use pthammer_kernel::{BuddyAllocator, FramePurpose, PlacementPolicy};
+use pthammer_kernel::{BuddyAllocator, DefenseKind, FramePurpose, PlacementPolicy};
 
 use crate::{frames_per_row, row_of_frame, total_rows};
 
@@ -70,6 +70,10 @@ impl RipRhPolicy {
 impl PlacementPolicy for RipRhPolicy {
     fn name(&self) -> &str {
         "RIP-RH (per-process DRAM partitioning)"
+    }
+
+    fn kind(&self) -> DefenseKind {
+        DefenseKind::RipRh
     }
 
     fn allocate(&mut self, purpose: FramePurpose, buddy: &mut BuddyAllocator) -> Option<u64> {

@@ -1,7 +1,7 @@
 //! ZebRAM-style guard-row interleaving (Konoth et al., OSDI 2018).
 
 use pthammer_dram::DramGeometry;
-use pthammer_kernel::{BuddyAllocator, FramePurpose, PlacementPolicy};
+use pthammer_kernel::{BuddyAllocator, DefenseKind, FramePurpose, PlacementPolicy};
 
 use crate::row_of_frame;
 
@@ -36,6 +36,10 @@ impl ZebramPolicy {
 impl PlacementPolicy for ZebramPolicy {
     fn name(&self) -> &str {
         "ZebRAM (guard-row interleaving)"
+    }
+
+    fn kind(&self) -> DefenseKind {
+        DefenseKind::Zebram
     }
 
     fn allocate(&mut self, _purpose: FramePurpose, buddy: &mut BuddyAllocator) -> Option<u64> {

@@ -1,9 +1,9 @@
 //! The campaign runner: fan cells out over worker threads, aggregate rows.
 
-use pthammer::{AttackConfig, PtHammer};
+use pthammer::{AttackConfig, EventSink, HammerMode, PtHammer};
 use pthammer_defenses::DefenseChoice;
 use pthammer_kernel::KernelConfig;
-use pthammer_perf::MachineCounters;
+use pthammer_perf::{HammerEventTally, MachineCounters};
 use rayon::prelude::*;
 use rayon::ThreadPoolBuilder;
 use serde::{Deserialize, Serialize};
@@ -118,13 +118,19 @@ impl CampaignConfig {
     }
 
     /// The attack configuration for one cell.
-    pub fn attack_config(&self, seed: u64, defense: DefenseChoice) -> AttackConfig {
+    pub fn attack_config(
+        &self,
+        seed: u64,
+        defense: DefenseChoice,
+        hammer_mode: HammerMode,
+    ) -> AttackConfig {
         let max_attempts = if defense == DefenseChoice::Zebram {
             self.max_attempts.min(self.zebram_attempt_cap)
         } else {
             self.max_attempts
         };
         AttackConfig {
+            hammer_mode,
             spray_bytes: self.spray_bytes,
             hammer_rounds_per_attempt: self.hammer_rounds_per_attempt,
             max_attempts,
@@ -179,14 +185,16 @@ pub fn run_cell(coord: &CellCoord, config: &CampaignConfig) -> CellReport {
 
 /// Like [`run_cell`], additionally returning the cell's deterministic perf
 /// accounting ([`CellPerf`]). The [`CellReport`] is byte-identical to the
-/// uninstrumented run — instrumentation only reads counters the simulated
-/// machine maintains anyway.
+/// uninstrumented run — the perf numbers come from a [`HammerEventTally`]
+/// subscribed to the attack pipeline's event bus (subscribers only observe)
+/// plus counters the simulated machine maintains anyway.
 pub fn run_cell_instrumented(coord: &CellCoord, config: &CampaignConfig) -> (CellReport, CellPerf) {
     let seed = cell_seed(config.base_seed, coord);
     let mut report = CellReport {
         machine: coord.machine.name().to_string(),
-        defense: coord.defense.name().to_string(),
+        defense: coord.defense.kind(),
         profile: coord.profile.name().to_string(),
+        hammer_mode: coord.hammer_mode,
         repetition: coord.repetition,
         cell_seed: seed,
         escalated: false,
@@ -208,7 +216,11 @@ pub fn run_cell_instrumented(coord: &CellCoord, config: &CampaignConfig) -> (Cel
     };
     let mut sys = coord.defense.build_system(machine_cfg, kernel_cfg);
 
-    let outcome = (|| {
+    // The harness's iteration accounting is an event subscriber: it counts
+    // what the hammer loop announces instead of re-deriving it from the
+    // outcome afterwards (and it keeps counting through attacks that abort).
+    let mut tally = HammerEventTally::new();
+    let outcome = (|tally: &mut HammerEventTally| {
         let pid = sys.spawn_process(1000).map_err(|e| e.to_string())?;
         if coord.defense == DefenseChoice::Cta && config.cta_cred_spray > 0 {
             // Spray struct cred objects via sibling processes (the paper's
@@ -216,14 +228,19 @@ pub fn run_cell_instrumented(coord: &CellCoord, config: &CampaignConfig) -> (Cel
             sys.spawn_processes(config.cta_cred_spray, 1000)
                 .map_err(|e| e.to_string())?;
         }
-        let attack =
-            PtHammer::new(config.attack_config(seed, coord.defense)).map_err(|e| e.to_string())?;
-        attack.run(&mut sys, pid).map_err(|e| e.to_string())
-    })();
+        let attack = PtHammer::new(config.attack_config(seed, coord.defense, coord.hammer_mode))
+            .map_err(|e| e.to_string())?;
+        attack
+            .run_observed(&mut sys, pid, &mut [tally as &mut dyn EventSink])
+            .map_err(|e| e.to_string())
+    })(&mut tally);
 
-    let mut hammer_iterations = 0u64;
     match outcome {
         Ok(outcome) => {
+            debug_assert_eq!(
+                tally.iterations, outcome.hammer_iterations,
+                "event tally and outcome must agree on iteration counts"
+            );
             report.escalated = outcome.escalated;
             report.attempts = outcome.attempts;
             report.flips_observed = outcome.flips_observed;
@@ -232,13 +249,12 @@ pub fn run_cell_instrumented(coord: &CellCoord, config: &CampaignConfig) -> (Cel
             report.seconds_to_first_flip = outcome.seconds_to_first_flip();
             report.seconds_to_escalation = outcome.seconds_to_escalation();
             report.route = outcome.route.map(|r| format!("{r:?}"));
-            hammer_iterations = outcome.hammer_iterations;
         }
         Err(err) => report.error = Some(err),
     }
     let perf = CellPerf {
         counters: MachineCounters::capture(sys.machine()),
-        hammer_iterations,
+        hammer_iterations: tally.iterations,
         sim_cycles: sys.rdtsc(),
     };
     (report, perf)
@@ -308,12 +324,20 @@ mod tests {
     #[test]
     fn attack_config_caps_zebram_attempts() {
         let config = CampaignConfig::ci(1);
-        let zebram = config.attack_config(9, DefenseChoice::Zebram);
-        let none = config.attack_config(9, DefenseChoice::None);
+        let zebram = config.attack_config(9, DefenseChoice::Zebram, HammerMode::default());
+        let none = config.attack_config(9, DefenseChoice::None, HammerMode::default());
         assert!(zebram.max_attempts <= config.zebram_attempt_cap);
         assert_eq!(none.max_attempts, config.max_attempts);
         assert!(zebram.validate().is_ok());
         assert!(none.validate().is_ok());
+    }
+
+    #[test]
+    fn attack_config_threads_the_hammer_mode_through() {
+        let config = CampaignConfig::ci(1);
+        let cfg = config.attack_config(9, DefenseChoice::None, HammerMode::ImplicitOneLocation);
+        assert_eq!(cfg.hammer_mode, HammerMode::ImplicitOneLocation);
+        assert!(cfg.validate().is_ok());
     }
 
     #[test]
@@ -323,12 +347,14 @@ mod tests {
             machine: MachineChoice::TestSmall,
             defense: DefenseChoice::None,
             profile: ProfileChoice::Invulnerable,
+            hammer_mode: HammerMode::default(),
             repetition: 0,
         };
         let row = run_cell(&coord, &config);
         assert_eq!(row.machine, "Test Small");
-        assert_eq!(row.defense, "undefended");
+        assert_eq!(row.defense, pthammer_kernel::DefenseKind::Undefended);
         assert_eq!(row.profile, "invulnerable");
+        assert_eq!(row.hammer_mode, HammerMode::ImplicitDoubleSided);
         assert_eq!(row.flips_observed, 0, "invulnerable DRAM cannot flip");
         assert!(!row.escalated);
         assert!(row.error.is_none(), "{:?}", row.error);

@@ -57,5 +57,7 @@ pub use matrix::{CellCoord, ProfileChoice, ScenarioMatrix};
 pub use report::{CampaignReport, CellReport, DefenseSummary};
 pub use seeding::cell_seed;
 
+pub use pthammer::HammerMode;
 pub use pthammer_defenses::DefenseChoice;
+pub use pthammer_kernel::DefenseKind;
 pub use pthammer_machine::MachineChoice;

@@ -1,8 +1,10 @@
 //! The declarative scenario matrix: which cells a campaign runs.
 
+use pthammer::HammerMode;
 use pthammer_defenses::DefenseChoice;
 use pthammer_dram::FlipModelProfile;
 use pthammer_machine::MachineChoice;
+use serde::ser::JsonWriter;
 use serde::{Deserialize, Serialize};
 
 /// Named weak-cell profile, the third axis of the matrix.
@@ -62,12 +64,14 @@ pub struct CellCoord {
     pub defense: DefenseChoice,
     /// Weak-cell profile of the DRAM.
     pub profile: ProfileChoice,
+    /// Hammer strategy the cell's attack pipeline runs.
+    pub hammer_mode: HammerMode,
     /// Repetition index (varies only the seed).
     pub repetition: u32,
 }
 
 /// Declarative cross product of campaign axes.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Deserialize)]
 pub struct ScenarioMatrix {
     /// Machines axis.
     pub machines: Vec<MachineChoice>,
@@ -75,12 +79,39 @@ pub struct ScenarioMatrix {
     pub defenses: Vec<DefenseChoice>,
     /// Profiles axis.
     pub profiles: Vec<ProfileChoice>,
-    /// Seed repetitions per (machine, defense, profile) combination.
+    /// Hammer-strategy axis (defaults to the paper's implicit double-sided
+    /// mode only).
+    pub hammer_modes: Vec<HammerMode>,
+    /// Seed repetitions per (machine, defense, profile, mode) combination.
     pub repetitions: u32,
 }
 
+// Hand-written so a default-mode-only matrix serializes exactly as it did
+// before the hammer-mode axis existed: the `hammer_modes` key is emitted
+// only for campaigns that actually sweep the axis, keeping the golden
+// snapshot byte-identical.
+impl Serialize for ScenarioMatrix {
+    fn serialize(&self, w: &mut JsonWriter) {
+        w.begin_object();
+        w.key("machines");
+        self.machines.serialize(w);
+        w.key("defenses");
+        self.defenses.serialize(w);
+        w.key("profiles");
+        self.profiles.serialize(w);
+        if !self.is_default_mode_only() {
+            w.key("hammer_modes");
+            self.hammer_modes.serialize(w);
+        }
+        w.key("repetitions");
+        self.repetitions.serialize(w);
+        w.end_object();
+    }
+}
+
 impl ScenarioMatrix {
-    /// Builds a matrix from explicit axes.
+    /// Builds a matrix from explicit axes, with the hammer-mode axis pinned
+    /// to the paper's default mode.
     pub fn new(
         machines: Vec<MachineChoice>,
         defenses: Vec<DefenseChoice>,
@@ -91,8 +122,21 @@ impl ScenarioMatrix {
             machines,
             defenses,
             profiles,
+            hammer_modes: vec![HammerMode::default()],
             repetitions,
         }
+    }
+
+    /// Replaces the hammer-mode axis (builder style).
+    pub fn with_hammer_modes(mut self, hammer_modes: Vec<HammerMode>) -> Self {
+        self.hammer_modes = hammer_modes;
+        self
+    }
+
+    /// True when the hammer-mode axis is exactly the paper default — the
+    /// case whose serialization (and golden snapshot) predates the axis.
+    pub fn is_default_mode_only(&self) -> bool {
+        self.hammer_modes.len() == 1 && self.hammer_modes[0].is_default()
     }
 
     /// The CI-scale regression matrix pinned by the golden snapshots: the
@@ -109,7 +153,11 @@ impl ScenarioMatrix {
 
     /// Number of cells in the matrix.
     pub fn len(&self) -> usize {
-        self.machines.len() * self.defenses.len() * self.profiles.len() * self.repetitions as usize
+        self.machines.len()
+            * self.defenses.len()
+            * self.profiles.len()
+            * self.hammer_modes.len()
+            * self.repetitions as usize
     }
 
     /// Whether the matrix is empty.
@@ -125,13 +173,16 @@ impl ScenarioMatrix {
         for &machine in &self.machines {
             for &defense in &self.defenses {
                 for &profile in &self.profiles {
-                    for repetition in 0..self.repetitions {
-                        cells.push(CellCoord {
-                            machine,
-                            defense,
-                            profile,
-                            repetition,
-                        });
+                    for &hammer_mode in &self.hammer_modes {
+                        for repetition in 0..self.repetitions {
+                            cells.push(CellCoord {
+                                machine,
+                                defense,
+                                profile,
+                                hammer_mode,
+                                repetition,
+                            });
+                        }
                     }
                 }
             }
@@ -154,6 +205,9 @@ impl ScenarioMatrix {
         if self.profiles.is_empty() {
             return Err("matrix has no profiles".to_string());
         }
+        if self.hammer_modes.is_empty() {
+            return Err("matrix has no hammer modes".to_string());
+        }
         if self.repetitions == 0 {
             return Err("matrix has zero repetitions".to_string());
         }
@@ -171,19 +225,23 @@ mod tests {
         assert!(m.len() >= 24, "CI matrix too small: {}", m.len());
         assert_eq!(m.cells().len(), m.len());
         assert!(m.validate().is_ok());
+        assert!(m.is_default_mode_only());
     }
 
     #[test]
     fn cells_are_in_canonical_order_and_unique() {
-        let m = ScenarioMatrix::ci_default();
+        let m = ScenarioMatrix::ci_default().with_hammer_modes(HammerMode::all());
         let cells = m.cells();
+        assert_eq!(cells.len(), m.len());
         let mut seen = std::collections::HashSet::new();
         for c in &cells {
             assert!(seen.insert(format!("{c:?}")), "duplicate cell {c:?}");
         }
-        // First block: first machine, first defense, first profile.
+        // First block: first machine, first defense, first profile, first
+        // mode.
         assert_eq!(cells[0].machine, m.machines[0]);
         assert_eq!(cells[0].defense, m.defenses[0]);
+        assert_eq!(cells[0].hammer_mode, m.hammer_modes[0]);
         assert_eq!(cells[0].repetition, 0);
     }
 
@@ -196,6 +254,8 @@ mod tests {
         let mut m = ScenarioMatrix::ci_default();
         m.repetitions = 0;
         assert!(m.validate().is_err());
+        let m = ScenarioMatrix::ci_default().with_hammer_modes(vec![]);
+        assert!(m.validate().is_err());
     }
 
     #[test]
@@ -205,5 +265,29 @@ mod tests {
             let _ = p.profile();
         }
         assert_eq!(ProfileChoice::Ci.name(), "ci");
+    }
+
+    #[test]
+    fn default_mode_matrix_serializes_without_the_axis() {
+        let mut w = JsonWriter::new(false);
+        ScenarioMatrix::ci_default().serialize(&mut w);
+        let json = w.into_string();
+        assert!(
+            !json.contains("hammer_modes"),
+            "default-mode matrix must serialize as before the axis existed: {json}"
+        );
+
+        let mut w = JsonWriter::new(false);
+        ScenarioMatrix::ci_default()
+            .with_hammer_modes(HammerMode::all())
+            .serialize(&mut w);
+        let json = w.into_string();
+        // The axis uses the same canonical kebab-case spelling as cell rows
+        // and the `--mode` CLI.
+        assert!(json.contains("\"hammer_modes\":[\"implicit-double-sided\""));
+        // Key order: the axis sits between profiles and repetitions.
+        let modes_at = json.find("hammer_modes").unwrap();
+        assert!(json.find("profiles").unwrap() < modes_at);
+        assert!(modes_at < json.find("repetitions").unwrap());
     }
 }

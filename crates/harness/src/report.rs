@@ -1,5 +1,8 @@
 //! Campaign results: per-cell rows, per-defense summaries, canonical JSON.
 
+use pthammer::HammerMode;
+use pthammer_kernel::DefenseKind;
+use serde::ser::JsonWriter;
 use serde::{Deserialize, Serialize};
 
 use crate::matrix::ScenarioMatrix;
@@ -9,14 +12,17 @@ use crate::matrix::ScenarioMatrix;
 pub const REPORT_SCHEMA_VERSION: u32 = 1;
 
 /// Outcome of one campaign cell (one attack run).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Deserialize)]
 pub struct CellReport {
     /// Machine name (coordinate).
     pub machine: String,
-    /// Defense name (coordinate).
-    pub defense: String,
+    /// Defense (coordinate), typed; serializes as its display name.
+    pub defense: DefenseKind,
     /// Weak-cell profile name (coordinate).
     pub profile: String,
+    /// Hammer strategy the cell ran (coordinate). Serialized only for
+    /// non-default modes, so pre-axis snapshots stay byte-identical.
+    pub hammer_mode: HammerMode,
     /// Repetition index (coordinate).
     pub repetition: u32,
     /// The seed derived from the coordinates (for reproducing this cell in
@@ -42,17 +48,63 @@ pub struct CellReport {
     pub error: Option<String>,
 }
 
-/// Aggregates over all cells sharing one (defense, profile) combination.
+// Hand-written: `defense` serializes as its display name and `hammer_mode`
+// is emitted only when it is not the paper default — the golden snapshot
+// predates the mode axis and must stay byte-identical.
+impl Serialize for CellReport {
+    fn serialize(&self, w: &mut JsonWriter) {
+        w.begin_object();
+        w.key("machine");
+        self.machine.serialize(w);
+        w.key("defense");
+        self.defense.serialize(w);
+        w.key("profile");
+        self.profile.serialize(w);
+        if !self.hammer_mode.is_default() {
+            w.key("hammer_mode");
+            w.string(self.hammer_mode.name());
+        }
+        w.key("repetition");
+        self.repetition.serialize(w);
+        w.key("cell_seed");
+        self.cell_seed.serialize(w);
+        w.key("escalated");
+        self.escalated.serialize(w);
+        w.key("attempts");
+        self.attempts.serialize(w);
+        w.key("flips_observed");
+        self.flips_observed.serialize(w);
+        w.key("exploitable_flips");
+        self.exploitable_flips.serialize(w);
+        w.key("implicit_dram_rate");
+        self.implicit_dram_rate.serialize(w);
+        w.key("seconds_to_first_flip");
+        self.seconds_to_first_flip.serialize(w);
+        w.key("seconds_to_escalation");
+        self.seconds_to_escalation.serialize(w);
+        w.key("route");
+        self.route.serialize(w);
+        w.key("error");
+        self.error.serialize(w);
+        w.end_object();
+    }
+}
+
+/// Aggregates over all cells sharing one (defense, profile, hammer-mode)
+/// combination.
 ///
 /// Summaries are split by weak-cell profile so control groups (e.g. the
 /// `invulnerable` profile) can never dilute a defense's headline escalation
-/// rate.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// rate, and by hammer mode so strategy sweeps stay comparable.
+#[derive(Debug, Clone, PartialEq, Deserialize)]
 pub struct DefenseSummary {
-    /// Defense name.
-    pub defense: String,
+    /// Defense, typed; serializes as its display name.
+    pub defense: DefenseKind,
     /// Weak-cell profile name the cells ran with.
     pub profile: String,
+    /// Hammer strategy the cells ran. Serialized only for non-default
+    /// modes (golden-snapshot compatibility).
+    pub hammer_mode: HammerMode,
     /// Number of cells aggregated (including errored ones).
     pub cells: usize,
     /// Cells that aborted with an error; excluded from every rate and mean
@@ -73,8 +125,44 @@ pub struct DefenseSummary {
     /// Mean simulated seconds to first flip over cells that flipped.
     pub mean_seconds_to_first_flip: Option<f64>,
     /// Escalation-rate delta against the undefended baseline on the same
-    /// profile (`None` when the campaign has no undefended cells for it).
+    /// profile and mode (`None` when the campaign has no undefended cells
+    /// for it).
     pub escalation_rate_delta_vs_undefended: Option<f64>,
+}
+
+impl Serialize for DefenseSummary {
+    fn serialize(&self, w: &mut JsonWriter) {
+        w.begin_object();
+        w.key("defense");
+        self.defense.serialize(w);
+        w.key("profile");
+        self.profile.serialize(w);
+        if !self.hammer_mode.is_default() {
+            w.key("hammer_mode");
+            w.string(self.hammer_mode.name());
+        }
+        w.key("cells");
+        self.cells.serialize(w);
+        w.key("errored_cells");
+        self.errored_cells.serialize(w);
+        w.key("escalations");
+        self.escalations.serialize(w);
+        w.key("escalation_rate");
+        self.escalation_rate.serialize(w);
+        w.key("flip_cells");
+        self.flip_cells.serialize(w);
+        w.key("mean_flips");
+        self.mean_flips.serialize(w);
+        w.key("mean_exploitable_flips");
+        self.mean_exploitable_flips.serialize(w);
+        w.key("mean_implicit_dram_rate");
+        self.mean_implicit_dram_rate.serialize(w);
+        w.key("mean_seconds_to_first_flip");
+        self.mean_seconds_to_first_flip.serialize(w);
+        w.key("escalation_rate_delta_vs_undefended");
+        self.escalation_rate_delta_vs_undefended.serialize(w);
+        w.end_object();
+    }
 }
 
 /// Complete campaign result: inputs, per-cell rows, per-defense summaries.
@@ -90,7 +178,8 @@ pub struct CampaignReport {
     pub superpages: bool,
     /// One row per cell, in canonical matrix order.
     pub cells: Vec<CellReport>,
-    /// One summary per (defense, profile) combination, in matrix axis order.
+    /// One summary per (defense, profile, mode) combination, in matrix axis
+    /// order.
     pub summaries: Vec<DefenseSummary>,
 }
 
@@ -104,72 +193,82 @@ impl CampaignReport {
         json
     }
 
-    /// Builds one summary per (defense, profile) axis combination,
-    /// aggregating cells in row order. Errored cells are counted in
-    /// [`DefenseSummary::errored_cells`] and excluded from every rate and
-    /// mean. Exposed for the campaign runner and tests.
+    /// Builds one summary per (defense, profile, hammer-mode) axis
+    /// combination, aggregating cells in row order. Errored cells are
+    /// counted in [`DefenseSummary::errored_cells`] and excluded from every
+    /// rate and mean. Exposed for the campaign runner and tests.
     pub fn summarize(matrix: &ScenarioMatrix, cells: &[CellReport]) -> Vec<DefenseSummary> {
-        let undefended = pthammer_defenses::DefenseChoice::None.name();
         let mut summaries = Vec::new();
         for d in &matrix.defenses {
             for p in &matrix.profiles {
-                let rows: Vec<&CellReport> = cells
-                    .iter()
-                    .filter(|c| c.defense == d.name() && c.profile == p.name())
-                    .collect();
-                let completed: Vec<&CellReport> =
-                    rows.iter().filter(|c| c.error.is_none()).copied().collect();
-                let n = completed.len();
-                let escalations = completed.iter().filter(|c| c.escalated).count();
-                let flip_cells = completed.iter().filter(|c| c.flips_observed > 0).count();
-                let escalation_rate = if n == 0 {
-                    0.0
-                } else {
-                    escalations as f64 / n as f64
-                };
-                let mean = |f: &dyn Fn(&CellReport) -> f64| {
-                    if n == 0 {
-                        0.0
-                    } else {
-                        completed.iter().map(|c| f(c)).sum::<f64>() / n as f64
-                    }
-                };
-                let first_flip: Vec<f64> = completed
-                    .iter()
-                    .filter_map(|c| c.seconds_to_first_flip)
-                    .collect();
-                let baseline_rate = {
-                    let base: Vec<&CellReport> = cells
+                for &m in &matrix.hammer_modes {
+                    let rows: Vec<&CellReport> = cells
                         .iter()
                         .filter(|c| {
-                            c.defense == undefended && c.profile == p.name() && c.error.is_none()
+                            c.defense == d.kind() && c.profile == p.name() && c.hammer_mode == m
                         })
                         .collect();
-                    if base.is_empty() {
-                        None
+                    let completed: Vec<&CellReport> =
+                        rows.iter().filter(|c| c.error.is_none()).copied().collect();
+                    let n = completed.len();
+                    let escalations = completed.iter().filter(|c| c.escalated).count();
+                    let flip_cells = completed.iter().filter(|c| c.flips_observed > 0).count();
+                    let escalation_rate = if n == 0 {
+                        0.0
                     } else {
-                        Some(base.iter().filter(|c| c.escalated).count() as f64 / base.len() as f64)
-                    }
-                };
-                summaries.push(DefenseSummary {
-                    defense: d.name().to_string(),
-                    profile: p.name().to_string(),
-                    cells: rows.len(),
-                    errored_cells: rows.len() - n,
-                    escalations,
-                    escalation_rate,
-                    flip_cells,
-                    mean_flips: mean(&|c| c.flips_observed as f64),
-                    mean_exploitable_flips: mean(&|c| c.exploitable_flips as f64),
-                    mean_implicit_dram_rate: mean(&|c| c.implicit_dram_rate),
-                    mean_seconds_to_first_flip: if first_flip.is_empty() {
-                        None
-                    } else {
-                        Some(first_flip.iter().sum::<f64>() / first_flip.len() as f64)
-                    },
-                    escalation_rate_delta_vs_undefended: baseline_rate
-                        .map(|base| escalation_rate - base),
-                });
+                        escalations as f64 / n as f64
+                    };
+                    let mean = |f: &dyn Fn(&CellReport) -> f64| {
+                        if n == 0 {
+                            0.0
+                        } else {
+                            completed.iter().map(|c| f(c)).sum::<f64>() / n as f64
+                        }
+                    };
+                    let first_flip: Vec<f64> = completed
+                        .iter()
+                        .filter_map(|c| c.seconds_to_first_flip)
+                        .collect();
+                    let baseline_rate = {
+                        let base: Vec<&CellReport> = cells
+                            .iter()
+                            .filter(|c| {
+                                c.defense == DefenseKind::Undefended
+                                    && c.profile == p.name()
+                                    && c.hammer_mode == m
+                                    && c.error.is_none()
+                            })
+                            .collect();
+                        if base.is_empty() {
+                            None
+                        } else {
+                            Some(
+                                base.iter().filter(|c| c.escalated).count() as f64
+                                    / base.len() as f64,
+                            )
+                        }
+                    };
+                    summaries.push(DefenseSummary {
+                        defense: d.kind(),
+                        profile: p.name().to_string(),
+                        hammer_mode: m,
+                        cells: rows.len(),
+                        errored_cells: rows.len() - n,
+                        escalations,
+                        escalation_rate,
+                        flip_cells,
+                        mean_flips: mean(&|c| c.flips_observed as f64),
+                        mean_exploitable_flips: mean(&|c| c.exploitable_flips as f64),
+                        mean_implicit_dram_rate: mean(&|c| c.implicit_dram_rate),
+                        mean_seconds_to_first_flip: if first_flip.is_empty() {
+                            None
+                        } else {
+                            Some(first_flip.iter().sum::<f64>() / first_flip.len() as f64)
+                        },
+                        escalation_rate_delta_vs_undefended: baseline_rate
+                            .map(|base| escalation_rate - base),
+                    });
+                }
             }
         }
         summaries
@@ -186,8 +285,9 @@ mod tests {
     fn cell(defense: DefenseChoice, escalated: bool, flips: usize) -> CellReport {
         CellReport {
             machine: "Test Small".into(),
-            defense: defense.name().into(),
+            defense: defense.kind(),
             profile: "ci".into(),
+            hammer_mode: HammerMode::default(),
             repetition: 0,
             cell_seed: 1,
             escalated,
@@ -222,7 +322,7 @@ mod tests {
         let summaries = CampaignReport::summarize(&matrix(), &cells);
         assert_eq!(summaries.len(), 2);
         let none = &summaries[0];
-        assert_eq!(none.defense, "undefended");
+        assert_eq!(none.defense, DefenseKind::Undefended);
         assert_eq!(none.profile, "ci");
         assert_eq!(none.escalations, 2);
         assert!((none.escalation_rate - 1.0).abs() < 1e-12);
@@ -254,6 +354,37 @@ mod tests {
         assert!((summaries[0].escalation_rate - 1.0).abs() < 1e-12);
         assert_eq!(summaries[1].profile, "invulnerable");
         assert!((summaries[1].escalation_rate - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summaries_split_by_hammer_mode() {
+        // A two-mode sweep: the default mode escalates, the explicit
+        // baseline does not. Summaries must keep the rates apart and use
+        // per-mode undefended baselines.
+        let m = ScenarioMatrix::new(
+            vec![MachineChoice::TestSmall],
+            vec![DefenseChoice::None],
+            vec![ProfileChoice::Ci],
+            1,
+        )
+        .with_hammer_modes(vec![
+            HammerMode::ImplicitDoubleSided,
+            HammerMode::ExplicitDoubleSided,
+        ]);
+        let mut explicit = cell(DefenseChoice::None, false, 0);
+        explicit.hammer_mode = HammerMode::ExplicitDoubleSided;
+        let cells = vec![cell(DefenseChoice::None, true, 2), explicit];
+        let summaries = CampaignReport::summarize(&m, &cells);
+        assert_eq!(summaries.len(), 2);
+        assert_eq!(summaries[0].hammer_mode, HammerMode::ImplicitDoubleSided);
+        assert!((summaries[0].escalation_rate - 1.0).abs() < 1e-12);
+        assert_eq!(summaries[1].hammer_mode, HammerMode::ExplicitDoubleSided);
+        assert!((summaries[1].escalation_rate - 0.0).abs() < 1e-12);
+        assert_eq!(
+            summaries[1].escalation_rate_delta_vs_undefended,
+            Some(0.0),
+            "explicit mode compares against the explicit undefended baseline"
+        );
     }
 
     #[test]
@@ -305,5 +436,21 @@ mod tests {
         assert!(a.ends_with('\n'));
         assert!(a.contains("\"schema_version\": 1"));
         assert!(a.contains("\"undefended\""));
+        // Default-mode reports carry no hammer_mode keys anywhere — the
+        // pre-axis golden snapshot stays byte-identical.
+        assert!(!a.contains("hammer_mode"));
+    }
+
+    #[test]
+    fn non_default_mode_rows_carry_the_mode_key() {
+        let mut row = cell(DefenseChoice::None, false, 0);
+        row.hammer_mode = HammerMode::ImplicitOneLocation;
+        let mut w = JsonWriter::new(false);
+        row.serialize(&mut w);
+        let json = w.into_string();
+        assert!(json.contains("\"hammer_mode\":\"implicit-one-location\""));
+        // The mode key sits between the profile and repetition coordinates.
+        assert!(json.find("\"profile\"").unwrap() < json.find("\"hammer_mode\"").unwrap());
+        assert!(json.find("\"hammer_mode\"").unwrap() < json.find("\"repetition\"").unwrap());
     }
 }

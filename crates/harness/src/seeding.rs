@@ -30,11 +30,12 @@ fn mix(mut z: u64) -> u64 {
 /// Derives the deterministic seed for one campaign cell.
 ///
 /// The hash input is `(base_seed, machine name, profile name, repetition)` —
-/// deliberately **not** the defense: cells that differ only in the defense
-/// axis share a seed, so they attack the *same* DRAM weak-cell map with the
-/// same attacker randomness and the per-defense deltas isolate the defense
-/// itself (the paper's Section IV-G methodology). Identical coordinates
-/// always map to an identical seed regardless of matrix position.
+/// deliberately **not** the defense and **not** the hammer mode: cells that
+/// differ only in those axes share a seed, so they attack the *same* DRAM
+/// weak-cell map with the same attacker randomness, and the per-defense /
+/// per-strategy deltas isolate the axis itself (the paper's Section IV-G
+/// methodology, extended to strategy sweeps). Identical coordinates always
+/// map to an identical seed regardless of matrix position.
 pub fn cell_seed(base_seed: u64, coord: &CellCoord) -> u64 {
     let label = format!(
         "{}|{}|{}",
@@ -57,6 +58,7 @@ mod tests {
             machine: MachineChoice::TestSmall,
             defense: DefenseChoice::None,
             profile: ProfileChoice::Ci,
+            hammer_mode: pthammer::HammerMode::default(),
             repetition: rep,
         }
     }
@@ -78,6 +80,16 @@ mod tests {
         let mut defended = coord(0);
         defended.defense = DefenseChoice::Zebram;
         assert_eq!(cell_seed(1, &coord(0)), cell_seed(1, &defended));
+    }
+
+    #[test]
+    fn hammer_mode_axis_shares_the_seed_for_controlled_comparison() {
+        // Strategy sweeps follow the defense-axis rule: rows differing only
+        // in the hammer mode attack the same weak-cell map, so flip-rate
+        // deltas isolate the strategy itself.
+        let mut one_location = coord(0);
+        one_location.hammer_mode = pthammer::HammerMode::ImplicitOneLocation;
+        assert_eq!(cell_seed(1, &coord(0)), cell_seed(1, &one_location));
     }
 
     #[test]

@@ -43,7 +43,7 @@ mod vma;
 pub use buddy::{BuddyAllocator, MAX_ORDER};
 pub use cred::{Cred, CredSlot, CREDS_PER_FRAME, CRED_MAGIC, CRED_SIZE};
 pub use error::KernelError;
-pub use policy::{DefaultPolicy, FramePurpose, PlacementPolicy};
+pub use policy::{DefaultPolicy, DefenseKind, FramePurpose, PlacementPolicy};
 pub use process::{Pid, Process};
 pub use system::{KernelConfig, KernelStats, MmapOptions, System};
 pub use vma::{Vma, VmaBacking};

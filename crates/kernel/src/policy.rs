@@ -6,10 +6,86 @@
 //! implements CATT, RIP-RH and CTA as alternative policies.
 
 use std::fmt;
+use std::str::FromStr;
 
+use serde::ser::JsonWriter;
 use serde::{Deserialize, Serialize};
 
 use crate::buddy::BuddyAllocator;
+
+/// Which evaluated defense a placement policy implements.
+///
+/// This is the *typed identity* of a policy — reports carry it instead of a
+/// free-form name string, so every layer (attack outcomes, campaign cells,
+/// summaries) agrees on the canonical spelling. The canonical JSON form is
+/// the display name (`"undefended"`, `"CATT"`, ...), pinned by the golden
+/// campaign snapshots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DefenseKind {
+    /// No defense: the stock-kernel baseline.
+    Undefended,
+    /// CATT kernel/user physical partitioning.
+    Catt,
+    /// RIP-RH per-process physical partitioning.
+    RipRh,
+    /// CTA true-cell page-table region.
+    Cta,
+    /// ZebRAM guard rows.
+    Zebram,
+}
+
+impl DefenseKind {
+    /// Every defense kind, in evaluation order.
+    pub fn all() -> Vec<DefenseKind> {
+        vec![
+            DefenseKind::Undefended,
+            DefenseKind::Catt,
+            DefenseKind::RipRh,
+            DefenseKind::Cta,
+            DefenseKind::Zebram,
+        ]
+    }
+
+    /// Canonical display name (also the canonical JSON serialization, pinned
+    /// by the golden campaign snapshots).
+    pub fn name(&self) -> &'static str {
+        match self {
+            DefenseKind::Undefended => "undefended",
+            DefenseKind::Catt => "CATT",
+            DefenseKind::RipRh => "RIP-RH",
+            DefenseKind::Cta => "CTA",
+            DefenseKind::Zebram => "ZebRAM",
+        }
+    }
+}
+
+impl fmt::Display for DefenseKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for DefenseKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        DefenseKind::all()
+            .into_iter()
+            .find(|k| k.name() == s)
+            .ok_or_else(|| format!("unknown defense kind `{s}`"))
+    }
+}
+
+// Canonical JSON form is the display name; hand-written because the offline
+// serde stub has no `rename` support and the golden snapshots pin these
+// exact strings.
+impl Serialize for DefenseKind {
+    fn serialize(&self, w: &mut JsonWriter) {
+        w.string(self.name());
+    }
+}
+
+impl Deserialize for DefenseKind {}
 
 /// Why the kernel is allocating a frame.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -52,6 +128,11 @@ pub trait PlacementPolicy: fmt::Debug + Send {
     /// Human-readable policy name (used in experiment reports).
     fn name(&self) -> &str;
 
+    /// Typed identity of the defense this policy implements; attack
+    /// outcomes and campaign reports carry this instead of the free-form
+    /// [`name`](PlacementPolicy::name).
+    fn kind(&self) -> DefenseKind;
+
     /// Allocates a frame for `purpose` from `buddy`, or `None` when the
     /// policy cannot satisfy the request.
     fn allocate(&mut self, purpose: FramePurpose, buddy: &mut BuddyAllocator) -> Option<u64>;
@@ -79,6 +160,10 @@ impl DefaultPolicy {
 impl PlacementPolicy for DefaultPolicy {
     fn name(&self) -> &str {
         "default (undefended)"
+    }
+
+    fn kind(&self) -> DefenseKind {
+        DefenseKind::Undefended
     }
 
     fn allocate(&mut self, _purpose: FramePurpose, buddy: &mut BuddyAllocator) -> Option<u64> {
@@ -120,5 +205,22 @@ mod tests {
     #[test]
     fn default_policy_name() {
         assert!(DefaultPolicy::new().name().contains("undefended"));
+        assert_eq!(DefaultPolicy::new().kind(), DefenseKind::Undefended);
+    }
+
+    #[test]
+    fn defense_kind_names_round_trip() {
+        for kind in DefenseKind::all() {
+            assert_eq!(kind.name().parse::<DefenseKind>().unwrap(), kind);
+            assert_eq!(kind.to_string(), kind.name());
+        }
+        assert!("no-such-defense".parse::<DefenseKind>().is_err());
+    }
+
+    #[test]
+    fn defense_kind_serializes_as_display_name() {
+        let mut w = serde::ser::JsonWriter::new(false);
+        serde::Serialize::serialize(&DefenseKind::RipRh, &mut w);
+        assert_eq!(w.into_string(), "\"RIP-RH\"");
     }
 }

@@ -18,7 +18,7 @@ use crate::{
     buddy::BuddyAllocator,
     cred::{Cred, CREDS_PER_FRAME, CRED_SIZE},
     error::KernelError,
-    policy::{DefaultPolicy, FramePurpose, PlacementPolicy},
+    policy::{DefaultPolicy, DefenseKind, FramePurpose, PlacementPolicy},
     process::{Pid, Process},
     vma::{Vma, VmaBacking},
 };
@@ -155,6 +155,11 @@ impl System {
     /// The name of the active placement policy (defense).
     pub fn policy_name(&self) -> &str {
         self.policy.name()
+    }
+
+    /// Typed identity of the active placement policy (defense).
+    pub fn policy_kind(&self) -> DefenseKind {
+        self.policy.kind()
     }
 
     /// Kernel allocation statistics.

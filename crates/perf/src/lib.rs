@@ -1,10 +1,14 @@
 //! Performance subsystem for the PThammer simulator.
 //!
-//! Three pieces:
+//! Four pieces:
 //!
 //! * [`MachineCounters`] — one snapshot of every deterministic simulator
 //!   counter (cache PMCs, TLB PMCs, DRAM statistics) with delta arithmetic,
 //!   so workloads can report exactly what the simulated hardware did;
+//! * [`HammerEventTally`] — an [`EventSink`](pthammer::EventSink) on the
+//!   attack pipeline's event bus: iteration counts and hammer cycles are
+//!   *observed* from the stream the hammer loop emits, never re-derived
+//!   from outcomes or configuration;
 //! * [`Stopwatch`] — host wall-clock timing for throughput measurements
 //!   (wall time is *reported*, never gated: it varies run to run);
 //! * [`PerfReport`] / [`WorkloadPerf`] — the canonical `BENCH_perf.json`
@@ -37,9 +41,11 @@
 #![warn(missing_docs)]
 
 mod counters;
+mod events;
 mod report;
 mod stopwatch;
 
 pub use counters::{HammerAccounting, MachineCounters};
+pub use events::HammerEventTally;
 pub use report::{PerfReport, WorkloadPerf, PERF_SCHEMA_VERSION};
 pub use stopwatch::Stopwatch;

@@ -72,7 +72,7 @@ fn eight_thread_campaign_matches_golden_snapshot() {
         report
             .summaries
             .iter()
-            .find(|s| s.defense == name)
+            .find(|s| s.defense.name() == name)
             .unwrap_or_else(|| panic!("missing summary for {name}"))
     };
     assert!(
@@ -91,7 +91,7 @@ fn eight_thread_campaign_matches_golden_snapshot() {
         );
         assert!(!cell.escalated);
     }
-    for cell in report.cells.iter().filter(|c| c.defense == "ZebRAM") {
+    for cell in report.cells.iter().filter(|c| c.defense.name() == "ZebRAM") {
         assert_eq!(
             cell.exploitable_flips, 0,
             "ZebRAM must prevent exploitable corruption: {cell:?}"
