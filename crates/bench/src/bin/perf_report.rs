@@ -23,8 +23,9 @@ use pthammer::HammerMode;
 use pthammer_bench::scenarios::{hammer_microbench, hammer_mode_microbench};
 use pthammer_bench::{ExperimentScale, MachineChoice};
 use pthammer_harness::{
-    run_campaign_instrumented, run_cell_instrumented, CampaignConfig, CellCoord, CellPerf,
-    DefenseChoice, ProfileChoice, ScenarioMatrix,
+    run_campaign_instrumented, run_campaign_resumable_instrumented, run_cell_instrumented,
+    store_manifest, CampaignConfig, CellCoord, CellPerf, CellStore, DefenseChoice, ProfileChoice,
+    ScenarioMatrix,
 };
 use pthammer_perf::{PerfReport, Stopwatch, WorkloadPerf};
 
@@ -167,12 +168,65 @@ fn campaign_workload() -> WorkloadPerf {
     WorkloadPerf::new("campaign_ci_matrix", counters, wall_ns)
 }
 
+/// Final workload: the golden campaign through the content-addressed cell store
+/// — a cold pass (every cell computed and written through) followed by a
+/// warm pass (every cell served from cache). The store counters pin the
+/// cache-hit accounting; the simulator counters come from the cold pass
+/// only, since a warm pass performs no simulation at all — which is exactly
+/// the property worth gating.
+fn campaign_resume_workload() -> WorkloadPerf {
+    let matrix = ScenarioMatrix::ci_default();
+    let config = CampaignConfig {
+        threads: 2,
+        ..CampaignConfig::ci(GOLDEN_BASE_SEED)
+    };
+    let root =
+        std::env::temp_dir().join(format!("pthammer-perf-resume-store-{}", std::process::id()));
+    CellStore::wipe(&root).expect("wipe perf store");
+    let store = CellStore::open(&root, &store_manifest(&config)).expect("open perf store");
+    let watch = Stopwatch::start();
+    let (cold_report, perf, cold) =
+        run_campaign_resumable_instrumented(&matrix, &config, &store).expect("cold store pass");
+    let (warm_report, warm_perf, warm) =
+        run_campaign_resumable_instrumented(&matrix, &config, &store).expect("warm store pass");
+    let wall_ns = watch.elapsed_ns();
+    CellStore::wipe(&root).expect("clean up perf store");
+    assert_eq!(
+        cold_report.to_canonical_json(),
+        warm_report.to_canonical_json(),
+        "a warm store pass must reproduce the cold report byte-for-byte"
+    );
+    assert_eq!(
+        warm_perf,
+        CellPerf::default(),
+        "cache hits must not simulate"
+    );
+    let mut counters = cell_counters(&perf);
+    counters.insert("cells".to_string(), matrix.len() as u64);
+    counters.insert(
+        "store_cold_cells_computed".to_string(),
+        cold.computed as u64,
+    );
+    counters.insert("store_cold_cache_hits".to_string(), cold.cache_hits as u64);
+    counters.insert("store_warm_cache_hits".to_string(), warm.cache_hits as u64);
+    counters.insert(
+        "store_warm_cells_computed".to_string(),
+        warm.computed as u64,
+    );
+    println!(
+        "campaign_resume_ci_matrix: cold {} computed / {} hits, warm {} computed / {} hits",
+        cold.computed, cold.cache_hits, warm.computed, warm.cache_hits
+    );
+    WorkloadPerf::new("campaign_resume_ci_matrix", counters, wall_ns)
+}
+
 fn main() -> ExitCode {
     let check = std::env::args().any(|a| a == "--check");
     let mut workloads = vec![hammer_loop_workload()];
     workloads.extend(hammer_mode_workloads());
     workloads.push(table1_cell_workload());
     workloads.push(campaign_workload());
+    workloads.push(campaign_resume_workload());
     let report = PerfReport::new(workloads);
     let path = baseline_path();
 

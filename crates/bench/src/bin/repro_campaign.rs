@@ -1,0 +1,310 @@
+//! Resumable, shardable campaign driver over the content-addressed cell
+//! store — the operational entry point for large sweeps.
+//!
+//! ```text
+//! repro_campaign run    --store DIR [--shard i/n] [--max-cells N]
+//!                       [--threads N] [--base-seed N] [--out FILE]
+//! repro_campaign resume --store DIR ...      # alias of `run`
+//! repro_campaign merge  --store DIR [--store DIR ...] --out FILE
+//! repro_campaign status --store DIR [--store DIR ...]
+//! ```
+//!
+//! * `run` / `resume` execute the pinned golden CI matrix through the store:
+//!   cached cells are served from disk, missing cells are computed and
+//!   written through atomically, so a killed invocation loses at most its
+//!   in-flight cells. `--shard i/n` computes only shard `i`'s cells;
+//!   `--max-cells N` stops after computing `N` cells (the deterministic
+//!   kill stand-in CI uses) and exits with code 75 (`EX_TEMPFAIL`) to
+//!   signal "incomplete — resume to continue".
+//! * `merge` combines any set of compatible stores into the complete
+//!   campaign report, byte-identical to a single-process run.
+//! * `status` verifies every store entry, prints valid/corrupt counts and
+//!   the stores' combined matrix coverage, and exits 0 only when a `merge`
+//!   over them would succeed (75 otherwise).
+//!
+//! A store is bound to its campaign (base seed, config, seed schema) by its
+//! manifest; pointing at an incompatible store is an error, not silent
+//! recomputation. See `EXPERIMENTS.md` ("Resumable and sharded campaigns")
+//! for walkthroughs.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use pthammer_harness::{
+    merge_stores, run_campaign_resumable, run_campaign_shard, store_manifest, CampaignConfig,
+    CellStore, ScenarioMatrix, ShardSpec,
+};
+
+/// Base seed of the pinned campaign — the same one the golden snapshot and
+/// the perf baseline use, so a complete run reproduces
+/// `tests/golden/campaign_ci_matrix.json` byte-for-byte.
+const GOLDEN_BASE_SEED: u64 = 0x7453_4861_4d21;
+
+/// Exit code for "incomplete, resume to continue" (BSD `EX_TEMPFAIL`).
+const EXIT_INCOMPLETE: u8 = 75;
+
+struct Args {
+    command: String,
+    stores: Vec<PathBuf>,
+    shard: ShardSpec,
+    max_cells: Option<usize>,
+    threads: usize,
+    base_seed: u64,
+    out: Option<PathBuf>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro_campaign <run|resume|merge|status> --store DIR [--store DIR ...]\n\
+         \x20       [--shard i/n] [--max-cells N] [--threads N] [--base-seed N] [--out FILE]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut argv = std::env::args().skip(1);
+    let command = argv.next().unwrap_or_else(|| usage());
+    if !matches!(command.as_str(), "run" | "resume" | "merge" | "status") {
+        usage();
+    }
+    let mut args = Args {
+        command,
+        stores: Vec::new(),
+        shard: ShardSpec::full(),
+        max_cells: None,
+        threads: 0,
+        base_seed: GOLDEN_BASE_SEED,
+        out: None,
+    };
+    let value = |argv: &mut dyn Iterator<Item = String>, flag: &str| {
+        argv.next().unwrap_or_else(|| {
+            eprintln!("{flag} requires a value");
+            std::process::exit(2);
+        })
+    };
+    while let Some(flag) = argv.next() {
+        match flag.as_str() {
+            "--store" => args.stores.push(PathBuf::from(value(&mut argv, "--store"))),
+            "--shard" => {
+                args.shard = value(&mut argv, "--shard").parse().unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                })
+            }
+            "--max-cells" => {
+                args.max_cells =
+                    Some(value(&mut argv, "--max-cells").parse().unwrap_or_else(|_| {
+                        eprintln!("--max-cells requires an unsigned integer");
+                        std::process::exit(2);
+                    }))
+            }
+            "--threads" => {
+                args.threads = value(&mut argv, "--threads").parse().unwrap_or_else(|_| {
+                    eprintln!("--threads requires an unsigned integer");
+                    std::process::exit(2);
+                })
+            }
+            "--base-seed" => {
+                args.base_seed = value(&mut argv, "--base-seed").parse().unwrap_or_else(|_| {
+                    eprintln!("--base-seed requires an unsigned integer");
+                    std::process::exit(2);
+                })
+            }
+            "--out" => args.out = Some(PathBuf::from(value(&mut argv, "--out"))),
+            _ => usage(),
+        }
+    }
+    if args.stores.is_empty() {
+        eprintln!("at least one --store DIR is required");
+        std::process::exit(2);
+    }
+    args
+}
+
+fn open_stores(args: &Args, config: &CampaignConfig) -> Vec<CellStore> {
+    let manifest = store_manifest(config);
+    args.stores
+        .iter()
+        .map(|root| {
+            CellStore::open(root, &manifest).unwrap_or_else(|e| {
+                eprintln!("{e}");
+                std::process::exit(1);
+            })
+        })
+        .collect()
+}
+
+fn write_report(out: Option<&PathBuf>, json: &str) {
+    match out {
+        Some(path) => {
+            std::fs::write(path, json).unwrap_or_else(|e| {
+                eprintln!("failed to write {}: {e}", path.display());
+                std::process::exit(1);
+            });
+            eprintln!("wrote {}", path.display());
+        }
+        None => print!("{json}"),
+    }
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let matrix = ScenarioMatrix::ci_default();
+    let config = CampaignConfig {
+        threads: args.threads,
+        ..CampaignConfig::ci(args.base_seed)
+    };
+
+    match args.command.as_str() {
+        "run" | "resume" => {
+            if args.stores.len() != 1 {
+                eprintln!("run/resume take exactly one --store");
+                return ExitCode::from(2);
+            }
+            if args.out.is_some() && !args.shard.is_full() {
+                eprintln!(
+                    "a sharded invocation covers only its own cells and produces no \
+                     report; drop --out here and run `merge` over the shard stores"
+                );
+                return ExitCode::from(2);
+            }
+            let store = &open_stores(&args, &config)[0];
+            // A budgeted or sharded invocation fills the store without
+            // holding every row in memory; if a budgeted full-matrix run
+            // completes within its budget, the report is assembled from the
+            // store afterwards (pure reads), so --out still gets written.
+            if args.max_cells.is_some() || !args.shard.is_full() {
+                let stats =
+                    run_campaign_shard(&matrix, &config, store, &args.shard, args.max_cells)
+                        .unwrap_or_else(|e| {
+                            eprintln!("{e}");
+                            std::process::exit(1);
+                        });
+                eprintln!(
+                    "shard {}: {} cached, {} computed ({} after corruption), \
+                     {} other-shard, {} beyond budget",
+                    args.shard,
+                    stats.cache_hits,
+                    stats.computed,
+                    stats.corrupt_recomputed,
+                    stats.skipped_other_shard,
+                    stats.budget_skipped,
+                );
+                if stats.incomplete() {
+                    eprintln!(
+                        "incomplete: resume with the same --store to continue{}",
+                        if args.out.is_some() {
+                            " (--out not written)"
+                        } else {
+                            ""
+                        }
+                    );
+                    return ExitCode::from(EXIT_INCOMPLETE);
+                }
+                if args.shard.is_full() {
+                    let (report, _) =
+                        merge_stores(&matrix, &config, &[store]).unwrap_or_else(|e| {
+                            eprintln!("{e}");
+                            std::process::exit(1);
+                        });
+                    write_report(args.out.as_ref(), &report.to_canonical_json());
+                }
+                return ExitCode::SUCCESS;
+            }
+            let (report, stats) =
+                run_campaign_resumable(&matrix, &config, store).unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    std::process::exit(1);
+                });
+            eprintln!(
+                "campaign complete: {} cells, {} served from cache, {} computed \
+                 ({} after corruption)",
+                stats.cells_total, stats.cache_hits, stats.computed, stats.corrupt_recomputed,
+            );
+            write_report(args.out.as_ref(), &report.to_canonical_json());
+            ExitCode::SUCCESS
+        }
+        "merge" => {
+            let stores = open_stores(&args, &config);
+            let refs: Vec<&CellStore> = stores.iter().collect();
+            let (report, stats) = merge_stores(&matrix, &config, &refs).unwrap_or_else(|e| {
+                eprintln!("{e}");
+                std::process::exit(1);
+            });
+            eprintln!(
+                "merged {} cells from {} stores ({:?} per store, {} corrupt entries skipped)",
+                stats.cells,
+                stats.per_store.len(),
+                stats.per_store,
+                stats.corrupt_skipped,
+            );
+            write_report(args.out.as_ref(), &report.to_canonical_json());
+            ExitCode::SUCCESS
+        }
+        "status" => {
+            let stores = open_stores(&args, &config);
+            // One verified walk per store; the coverage check below reuses
+            // the key sets instead of re-reading every file.
+            let mut corrupt_files = 0;
+            let mut key_sets: Vec<std::collections::HashSet<_>> = Vec::new();
+            for (store, root) in stores.iter().zip(&args.stores) {
+                let status = store.status().unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    std::process::exit(1);
+                });
+                println!(
+                    "{}: {} valid cells, {} corrupt files",
+                    root.display(),
+                    status.entries,
+                    status.corrupt,
+                );
+                corrupt_files += status.corrupt;
+                key_sets.push(
+                    store
+                        .keys()
+                        .unwrap_or_else(|e| {
+                            eprintln!("{e}");
+                            std::process::exit(1);
+                        })
+                        .into_iter()
+                        .collect(),
+                );
+            }
+            // Exit 0 exactly when `merge` over these stores would succeed:
+            // every matrix cell has a verified entry in some store. Corrupt
+            // files alone are reported but do not fail — merge skips them
+            // whenever another store (or a recompute) covers the cell.
+            let covered = matrix
+                .cells()
+                .iter()
+                .filter(|coord| {
+                    let key = pthammer_harness::cell_store_key(coord);
+                    key_sets.iter().any(|keys| keys.contains(&key))
+                })
+                .count();
+            println!(
+                "coverage: {covered}/{} matrix cells present across {} store(s) \
+                 (golden CI matrix)",
+                matrix.len(),
+                stores.len(),
+            );
+            if covered == matrix.len() {
+                if corrupt_files > 0 {
+                    println!(
+                        "note: {corrupt_files} corrupt file(s) will be skipped by merge; \
+                         a resume run would repair them"
+                    );
+                }
+                ExitCode::SUCCESS
+            } else {
+                println!(
+                    "incomplete: {} cell(s) missing — run or resume the missing \
+                     shards before merging",
+                    matrix.len() - covered
+                );
+                ExitCode::from(EXIT_INCOMPLETE)
+            }
+        }
+        _ => unreachable!("validated in parse_args"),
+    }
+}

@@ -303,16 +303,27 @@ pub fn run_campaign_instrumented(
         rows.push(row);
         perf.absorb(&cell_perf);
     }
+    (assemble_report(matrix, config, rows), perf)
+}
+
+/// Assembles the canonical [`CampaignReport`] from per-cell rows (already in
+/// canonical matrix order): recomputes summaries and stamps the campaign
+/// inputs. Shared by the direct runner and the store-backed resume/merge
+/// paths, so every way of obtaining the rows emits identical bytes.
+pub(crate) fn assemble_report(
+    matrix: &ScenarioMatrix,
+    config: &CampaignConfig,
+    rows: Vec<CellReport>,
+) -> CampaignReport {
     let summaries = CampaignReport::summarize(matrix, &rows);
-    let report = CampaignReport {
+    CampaignReport {
         schema_version: REPORT_SCHEMA_VERSION,
         base_seed: config.base_seed,
         matrix: matrix.clone(),
         superpages: config.superpages,
         cells: rows,
         summaries,
-    };
-    (report, perf)
+    }
 }
 
 #[cfg(test)]

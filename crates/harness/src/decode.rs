@@ -1,0 +1,175 @@
+//! Decoding stored canonical cell JSON back into [`CellReport`]s.
+//!
+//! The offline serde stub has no derive-based deserializer, so this module
+//! is the hand-written inverse of `CellReport`'s hand-written `Serialize`:
+//! it reads the [`serde_json::Value`] tree of a stored cell body and
+//! rebuilds the exact report — bit-for-bit, including `f64` fields, because
+//! the writer emits shortest-representation decimals and `str::parse::<f64>`
+//! recovers the identical bits. Byte-identical resume and shard-merge
+//! reports depend on this round trip being exact, and
+//! `decoded_report_round_trips_exactly` (plus the golden byte-compares in
+//! `tests/resumable_campaign.rs`) pins it.
+
+use std::str::FromStr;
+
+use pthammer::HammerMode;
+use pthammer_kernel::DefenseKind;
+
+use crate::report::CellReport;
+
+/// Parses a stored cell body (canonical compact `CellReport` JSON) back into
+/// the report.
+///
+/// # Errors
+///
+/// Describes the first missing or mistyped field. Storage corruption is
+/// already excluded by the store's content hash when the body comes from a
+/// [`CellLookup::Hit`](pthammer_store::CellLookup); a decode error here
+/// therefore means the entry predates a report-schema change, and callers
+/// treat it like a corrupt entry (recompute) rather than failing the
+/// campaign.
+pub fn cell_report_from_json(body: &str) -> Result<CellReport, String> {
+    let value = serde_json::from_str(body).map_err(|e| format!("cell body is not JSON: {e}"))?;
+    let field = |name: &str| {
+        value
+            .get(name)
+            .ok_or_else(|| format!("cell body is missing `{name}`"))
+    };
+    let string = |name: &str| {
+        field(name)?
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| format!("cell field `{name}` is not a string"))
+    };
+    let u64_of = |name: &str| {
+        field(name)?
+            .as_u64()
+            .ok_or_else(|| format!("cell field `{name}` is not an unsigned integer"))
+    };
+    let f64_of = |name: &str| {
+        field(name)?
+            .as_f64()
+            .ok_or_else(|| format!("cell field `{name}` is not a number"))
+    };
+    let opt_f64 = |name: &str| -> Result<Option<f64>, String> {
+        let v = field(name)?;
+        if v.is_null() {
+            return Ok(None);
+        }
+        v.as_f64()
+            .map(Some)
+            .ok_or_else(|| format!("cell field `{name}` is not a number or null"))
+    };
+    let opt_string = |name: &str| -> Result<Option<String>, String> {
+        let v = field(name)?;
+        if v.is_null() {
+            return Ok(None);
+        }
+        v.as_str()
+            .map(|s| Some(s.to_string()))
+            .ok_or_else(|| format!("cell field `{name}` is not a string or null"))
+    };
+
+    // `hammer_mode` is emitted only for non-default modes (the golden
+    // snapshot predates the axis); absence decodes to the default.
+    let hammer_mode = match value.get("hammer_mode") {
+        None => HammerMode::default(),
+        Some(v) => {
+            let name = v
+                .as_str()
+                .ok_or_else(|| "cell field `hammer_mode` is not a string".to_string())?;
+            HammerMode::from_str(name)?
+        }
+    };
+
+    Ok(CellReport {
+        machine: string("machine")?,
+        defense: DefenseKind::from_str(&string("defense")?)?,
+        profile: string("profile")?,
+        hammer_mode,
+        repetition: u32::try_from(u64_of("repetition")?)
+            .map_err(|_| "cell field `repetition` overflows u32".to_string())?,
+        cell_seed: u64_of("cell_seed")?,
+        escalated: field("escalated")?
+            .as_bool()
+            .ok_or_else(|| "cell field `escalated` is not a bool".to_string())?,
+        attempts: u64_of("attempts")? as usize,
+        flips_observed: u64_of("flips_observed")? as usize,
+        exploitable_flips: u64_of("exploitable_flips")? as usize,
+        implicit_dram_rate: f64_of("implicit_dram_rate")?,
+        seconds_to_first_flip: opt_f64("seconds_to_first_flip")?,
+        seconds_to_escalation: opt_f64("seconds_to_escalation")?,
+        route: opt_string("route")?,
+        error: opt_string("error")?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tricky_report() -> CellReport {
+        CellReport {
+            machine: "Test Small".into(),
+            defense: DefenseKind::RipRh,
+            profile: "ci".into(),
+            hammer_mode: HammerMode::ImplicitOneLocation,
+            repetition: 2,
+            cell_seed: u64::MAX - 1,
+            escalated: true,
+            attempts: 3,
+            flips_observed: 7,
+            exploitable_flips: 1,
+            implicit_dram_rate: 0.1 + 0.2, // not exactly representable
+            seconds_to_first_flip: Some(1.0e-7),
+            seconds_to_escalation: None,
+            route: Some("PageTable { pte: 0x1000 }".into()),
+            error: Some("line1\nline2 \"quoted\"".into()),
+        }
+    }
+
+    #[test]
+    fn decoded_report_round_trips_exactly() {
+        for report in [tricky_report(), {
+            let mut r = tricky_report();
+            r.hammer_mode = HammerMode::default();
+            r.route = None;
+            r.error = None;
+            r
+        }] {
+            let body = serde_json::to_string(&report).unwrap();
+            let decoded = cell_report_from_json(&body).unwrap();
+            assert_eq!(decoded, report);
+            // Bit-exact floats, not just PartialEq-equal.
+            assert_eq!(
+                decoded.implicit_dram_rate.to_bits(),
+                report.implicit_dram_rate.to_bits()
+            );
+            // Byte-exact re-serialization — what merge actually emits.
+            assert_eq!(serde_json::to_string(&decoded).unwrap(), body);
+        }
+    }
+
+    #[test]
+    fn missing_mode_key_decodes_to_the_default() {
+        let mut report = tricky_report();
+        report.hammer_mode = HammerMode::default();
+        let body = serde_json::to_string(&report).unwrap();
+        assert!(!body.contains("hammer_mode"));
+        assert_eq!(
+            cell_report_from_json(&body).unwrap().hammer_mode,
+            HammerMode::ImplicitDoubleSided
+        );
+    }
+
+    #[test]
+    fn schema_drift_is_a_described_error() {
+        let body = serde_json::to_string(&tricky_report()).unwrap();
+        let err = cell_report_from_json(&body.replace("\"attempts\"", "\"tries\"")).unwrap_err();
+        assert!(err.contains("attempts"), "{err}");
+        let err = cell_report_from_json("][").unwrap_err();
+        assert!(err.contains("JSON"), "{err}");
+        let err = cell_report_from_json("{\"machine\":3}").unwrap_err();
+        assert!(err.contains("machine"), "{err}");
+    }
+}

@@ -12,6 +12,11 @@
 //!   aggregates every [`AttackOutcome`](pthammer::AttackOutcome) into a
 //!   [`CampaignReport`] with per-defense summaries and deltas against the
 //!   undefended baseline.
+//! * [`run_campaign_resumable`] / [`run_campaign_shard`] / [`merge_stores`]
+//!   — the same cells through the content-addressed
+//!   [`CellStore`], making campaigns killable,
+//!   resumable, and shardable across invocations with byte-identical
+//!   reports (see [`resume`]).
 //!
 //! # Determinism
 //!
@@ -45,19 +50,27 @@
 #![warn(missing_docs)]
 
 mod campaign;
+mod decode;
 mod matrix;
 mod report;
+pub mod resume;
 mod seeding;
 
 pub use campaign::{
     run_campaign, run_campaign_instrumented, run_cell, run_cell_instrumented, CampaignConfig,
     CellPerf,
 };
+pub use decode::cell_report_from_json;
 pub use matrix::{CellCoord, ProfileChoice, ScenarioMatrix};
 pub use report::{CampaignReport, CellReport, DefenseSummary};
-pub use seeding::cell_seed;
+pub use resume::{
+    cell_store_key, merge_stores, run_campaign_resumable, run_campaign_resumable_instrumented,
+    run_campaign_shard, store_manifest, MergeStats, ResumeStats,
+};
+pub use seeding::{cell_seed, CELL_SEED_SCHEMA_VERSION};
 
 pub use pthammer::HammerMode;
 pub use pthammer_defenses::DefenseChoice;
 pub use pthammer_kernel::DefenseKind;
 pub use pthammer_machine::MachineChoice;
+pub use pthammer_store::{CellKey, CellLookup, CellStore, ShardSpec, StoreError, StoreManifest};

@@ -8,6 +8,15 @@
 
 use crate::matrix::CellCoord;
 
+/// Version of the cell-seeding scheme (the [`cell_seed`] hash recipe and
+/// everything upstream of it that determines a cell's result for given
+/// coordinates). It is part of every cell's store key and of the store
+/// manifest: bump it whenever simulator behavior changes intentionally —
+/// alongside the `PTHAMMER_UPDATE_GOLDEN=1` golden refresh — so cached cell
+/// reports computed under the old behavior are invalidated instead of being
+/// merged into new campaigns.
+pub const CELL_SEED_SCHEMA_VERSION: u32 = 1;
+
 /// FNV-1a over a byte string, used to fold coordinate names into the seed.
 fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;

@@ -1,0 +1,84 @@
+//! Content-address keys for campaign cells.
+
+use crate::hash::fnv1a_128;
+
+/// The content address of one campaign cell: the 128-bit FNV-1a hash of the
+/// cell's canonical coordinate string.
+///
+/// The harness builds the canonical string from the cell's coordinate
+/// *values* — machine, defense, profile, hammer mode, repetition — plus the
+/// seed-schema version, mirroring the seeding rule that coordinates (never
+/// matrix positions) determine results. Two invocations that would compute
+/// the same cell therefore derive the same key, wherever and whenever they
+/// run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CellKey(u128);
+
+impl CellKey {
+    /// Derives the key for a canonical coordinate string.
+    pub fn from_canonical(canonical: &str) -> Self {
+        Self(fnv1a_128(canonical.as_bytes()))
+    }
+
+    /// Reconstructs a key from its [`hex`](Self::hex) form (e.g. a cell file
+    /// name); `None` if `hex` is not exactly 32 lowercase hex digits.
+    pub fn from_hex(hex: &str) -> Option<Self> {
+        if hex.len() != 32 || hex.bytes().any(|b| !matches!(b, b'0'..=b'9' | b'a'..=b'f')) {
+            return None;
+        }
+        u128::from_str_radix(hex, 16).ok().map(Self)
+    }
+
+    /// The key as 32 lowercase hex digits — the cell's file name.
+    pub fn hex(&self) -> String {
+        format!("{:032x}", self.0)
+    }
+
+    /// Which of `count` shards owns this key (`key mod count`).
+    ///
+    /// Purely a function of the key, so every invocation of a sharded
+    /// campaign agrees on the partition without coordination.
+    pub fn shard_of(&self, count: usize) -> usize {
+        debug_assert!(count > 0, "shard count must be positive");
+        (self.0 % count.max(1) as u128) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_are_deterministic_and_coordinate_sensitive() {
+        let a = CellKey::from_canonical("m|d|p|mode|0|v1");
+        assert_eq!(a, CellKey::from_canonical("m|d|p|mode|0|v1"));
+        assert_ne!(a, CellKey::from_canonical("m|d|p|mode|1|v1"));
+        assert_ne!(a, CellKey::from_canonical("m|d|p|mode|0|v2"));
+    }
+
+    #[test]
+    fn hex_round_trips() {
+        let key = CellKey::from_canonical("cell");
+        let hex = key.hex();
+        assert_eq!(hex.len(), 32);
+        assert_eq!(CellKey::from_hex(&hex), Some(key));
+        assert_eq!(CellKey::from_hex("xyz"), None);
+        assert_eq!(CellKey::from_hex(&hex[..31]), None);
+        assert_eq!(CellKey::from_hex(&hex.to_uppercase()), None);
+    }
+
+    #[test]
+    fn shards_partition_the_key_space() {
+        let keys: Vec<CellKey> = (0..256)
+            .map(|i| CellKey::from_canonical(&format!("cell-{i}")))
+            .collect();
+        for count in 1..6 {
+            for key in &keys {
+                assert!(key.shard_of(count) < count);
+            }
+        }
+        // With several shards, a few hundred keys should hit all of them.
+        let hit: std::collections::HashSet<usize> = keys.iter().map(|k| k.shard_of(3)).collect();
+        assert_eq!(hit.len(), 3);
+    }
+}

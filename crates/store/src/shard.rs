@@ -1,0 +1,117 @@
+//! Deterministic partitioning of the cell-key space.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::key::CellKey;
+
+/// One shard of a campaign: this invocation computes only the cells whose
+/// key hashes into `index` of `count` partitions.
+///
+/// The partition is a pure function of the cell key ([`CellKey::shard_of`]),
+/// so `count` invocations with indices `0..count` — in any order, on any
+/// hosts, resumed any number of times — cover every cell exactly once, and
+/// their stores merge into the same report a single-process run produces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// This invocation's shard index, `0 <= index < count`.
+    pub index: usize,
+    /// Total number of shards.
+    pub count: usize,
+}
+
+impl ShardSpec {
+    /// The trivial single-shard spec: owns every cell.
+    pub fn full() -> Self {
+        Self { index: 0, count: 1 }
+    }
+
+    /// Builds a spec, validating `index < count` and `count > 0`.
+    ///
+    /// # Errors
+    ///
+    /// Describes the violated bound.
+    pub fn new(index: usize, count: usize) -> Result<Self, String> {
+        if count == 0 {
+            return Err("shard count must be at least 1".to_string());
+        }
+        if index >= count {
+            return Err(format!(
+                "shard index {index} out of range for {count} shards"
+            ));
+        }
+        Ok(Self { index, count })
+    }
+
+    /// Whether this shard owns `key`.
+    pub fn owns(&self, key: &CellKey) -> bool {
+        key.shard_of(self.count) == self.index
+    }
+
+    /// Whether this is the trivial single-shard spec.
+    pub fn is_full(&self) -> bool {
+        self.count == 1
+    }
+}
+
+impl fmt::Display for ShardSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.index, self.count)
+    }
+}
+
+impl FromStr for ShardSpec {
+    type Err = String;
+
+    /// Parses the CLI form `i/n` (e.g. `0/3`), zero-based.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (index, count) = s
+            .split_once('/')
+            .ok_or_else(|| format!("shard spec `{s}` is not of the form i/n"))?;
+        let index: usize = index
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad shard index in `{s}`"))?;
+        let count: usize = count
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad shard count in `{s}`"))?;
+        Self::new(index, count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_validates() {
+        assert_eq!(
+            ShardSpec::from_str("0/3").unwrap(),
+            ShardSpec::new(0, 3).unwrap()
+        );
+        assert_eq!(ShardSpec::from_str("2/3").unwrap().to_string(), "2/3");
+        assert!(ShardSpec::from_str("3/3").is_err());
+        assert!(ShardSpec::from_str("0/0").is_err());
+        assert!(ShardSpec::from_str("1").is_err());
+        assert!(ShardSpec::from_str("a/b").is_err());
+    }
+
+    #[test]
+    fn shards_cover_every_key_exactly_once() {
+        let keys: Vec<CellKey> = (0..128)
+            .map(|i| CellKey::from_canonical(&format!("k{i}")))
+            .collect();
+        for count in 1..5 {
+            let shards: Vec<ShardSpec> = (0..count)
+                .map(|i| ShardSpec::new(i, count).unwrap())
+                .collect();
+            for key in &keys {
+                let owners = shards.iter().filter(|s| s.owns(key)).count();
+                assert_eq!(owners, 1, "{key:?} owned by {owners} of {count} shards");
+            }
+        }
+        assert!(ShardSpec::full().is_full());
+        assert!(keys.iter().all(|k| ShardSpec::full().owns(k)));
+    }
+}

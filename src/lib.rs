@@ -1,11 +1,17 @@
 //! Workspace-level umbrella crate: re-exports the PThammer reproduction crates
 //! so the examples and integration tests can use a single dependency root.
+//!
+//! See `ARCHITECTURE.md` at the repository root for how the crates fit
+//! together and for the paper→code glossary.
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 pub use pthammer;
 pub use pthammer_cache as cache;
 pub use pthammer_defenses as defenses;
 pub use pthammer_dram as dram;
+pub use pthammer_harness as harness;
 pub use pthammer_kernel as kernel;
 pub use pthammer_machine as machine;
 pub use pthammer_mmu as mmu;
+pub use pthammer_store as store;
 pub use pthammer_types as types;

@@ -18,6 +18,9 @@
 
 use std::path::PathBuf;
 
+mod common;
+use common::first_diff;
+
 use pthammer_harness::{run_campaign, CampaignConfig, ScenarioMatrix};
 
 /// Base seed of the pinned campaign; changing it invalidates the snapshot.
@@ -130,19 +133,4 @@ fn compare_with_golden(json: &str) {
         path.display(),
         first_diff(&golden, json)
     );
-}
-
-/// Human-readable pointer at the first differing line of two texts.
-fn first_diff(a: &str, b: &str) -> String {
-    for (i, (la, lb)) in a.lines().zip(b.lines()).enumerate() {
-        if la != lb {
-            return format!("line {}: golden `{la}` vs new `{lb}`", i + 1);
-        }
-    }
-    format!(
-        "texts share {} lines, lengths differ ({} vs {} bytes)",
-        a.lines().count().min(b.lines().count()),
-        a.len(),
-        b.len()
-    )
 }

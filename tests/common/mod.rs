@@ -1,0 +1,16 @@
+//! Helpers shared by the golden-comparison integration tests.
+
+/// Human-readable pointer at the first differing line of two texts.
+pub fn first_diff(a: &str, b: &str) -> String {
+    for (i, (la, lb)) in a.lines().zip(b.lines()).enumerate() {
+        if la != lb {
+            return format!("line {}: golden `{la}` vs new `{lb}`", i + 1);
+        }
+    }
+    format!(
+        "texts share {} lines, lengths differ ({} vs {} bytes)",
+        a.lines().count().min(b.lines().count()),
+        a.len(),
+        b.len()
+    )
+}

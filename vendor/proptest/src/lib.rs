@@ -3,7 +3,7 @@
 //! The build environment has no crates.io access, so this crate implements
 //! the authoring subset the workspace's property tests use: the
 //! [`proptest!`] macro (with optional `#![proptest_config(..)]`),
-//! integer-range / [`any`] / `prop::collection::vec` / `prop::sample::select`
+//! integer-range / `any` / `prop::collection::vec` / `prop::sample::select`
 //! strategies, and the `prop_assert*` macros. Cases are generated from a
 //! deterministic per-test RNG (seeded by the test name), so failures
 //! reproduce exactly; there is **no shrinking** — the failing inputs are

@@ -1,20 +1,27 @@
 //! Offline stand-in for `serde_json`: renders any [`serde::Serialize`] value
-//! as canonical JSON text (compact or pretty). There is no parsing path —
-//! the workspace's golden-snapshot tests compare JSON byte-for-byte.
+//! as canonical JSON text (compact or pretty), and parses JSON text into a
+//! dynamically-typed [`Value`] tree (the subset the cell store uses to read
+//! cached reports back). There is no derive-based `Deserialize` decoding —
+//! consumers pattern-match the [`Value`] themselves, and the workspace's
+//! golden-snapshot tests compare JSON byte-for-byte.
 
 #![forbid(unsafe_code)]
 
 use serde::ser::JsonWriter;
 use serde::Serialize;
 
-/// Error type kept for signature compatibility with upstream `serde_json`.
-/// The offline writer is infallible, so this is never constructed.
+mod value;
+
+pub use value::{from_str, Value};
+
+/// Error type mirroring upstream `serde_json`'s. The offline writer is
+/// infallible; only the [`from_str`] parsing path constructs errors.
 #[derive(Debug)]
-pub struct Error(());
+pub struct Error(pub(crate) String);
 
 impl std::fmt::Display for Error {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "serde_json stub error")
+        write!(f, "{}", self.0)
     }
 }
 
