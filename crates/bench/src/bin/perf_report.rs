@@ -12,6 +12,9 @@
 //! * `perf_report --check` — run the workloads and compare against the
 //!   committed baseline, ignoring wall time. Exits non-zero if any counter
 //!   deviates; this is what the `perf-smoke` CI job runs.
+//! * `perf_report --list` — print the pinned workload names (one per line)
+//!   and exit without running anything; PERF.md's workload table is checked
+//!   against this.
 //!
 //! See `PERF.md` for the schema and the refresh workflow.
 
@@ -22,11 +25,14 @@ use std::process::ExitCode;
 use pthammer::HammerMode;
 use pthammer_bench::scenarios::{hammer_microbench, hammer_mode_microbench};
 use pthammer_bench::{ExperimentScale, MachineChoice};
+use pthammer_dram::FlipModelProfile;
 use pthammer_harness::{
     run_campaign_instrumented, run_campaign_resumable_instrumented, run_cell_instrumented,
     store_manifest, CampaignConfig, CellCoord, CellPerf, CellStore, DefenseChoice, ProfileChoice,
     ScenarioMatrix,
 };
+use pthammer_machine::MachineConfig;
+use pthammer_patterns::synthesize;
 use pthammer_perf::{PerfReport, Stopwatch, WorkloadPerf};
 
 /// Base seed of every pinned workload; the campaign seed matches the golden
@@ -102,6 +108,45 @@ fn hammer_mode_workloads() -> Vec<WorkloadPerf> {
         .collect()
 }
 
+/// Workload: the deterministic pattern-synthesis loop against the TRR test
+/// machine — the search `pthammer-patterns` runs for every synthesized
+/// campaign cell. Counters are the search's own deterministic accounting
+/// (evaluations, winner shape, delivered disturbance); wall time tracks the
+/// cost of the loop itself.
+fn pattern_synthesis_workload() -> WorkloadPerf {
+    let machine = MachineConfig::ci_small_trr(FlipModelProfile::ci(), MICROBENCH_SEED);
+    let config = CampaignConfig::trr_ci(GOLDEN_BASE_SEED).synthesis_config(&machine);
+    let watch = Stopwatch::start();
+    let result = synthesize(&config, MICROBENCH_SEED);
+    let wall_ns = watch.elapsed_ns();
+    let mut counters = BTreeMap::new();
+    counters.insert("evaluations".to_string(), u64::from(result.evaluations));
+    counters.insert("generations".to_string(), u64::from(result.generations));
+    counters.insert("best_sides".to_string(), result.best.sides() as u64);
+    counters.insert(
+        "best_touches_per_round".to_string(),
+        result.best.touches_per_round() as u64,
+    );
+    counters.insert(
+        "best_span_strides".to_string(),
+        result.best.span().unsigned_abs() as u64,
+    );
+    counters.insert(
+        "peak_victim_disturbance".to_string(),
+        u64::from(result.score.peak_victim_disturbance),
+    );
+    counters.insert(
+        "expected_disturbance".to_string(),
+        u64::from(result.score.expected_disturbance),
+    );
+    counters.insert("trr_fired".to_string(), u64::from(result.score.trr_fired));
+    println!(
+        "pattern_synthesis_test_small_trr: best {} after {} evaluations (peak {})",
+        result.best, result.evaluations, result.score.peak_victim_disturbance
+    );
+    WorkloadPerf::new("pattern_synthesis_test_small_trr", counters, wall_ns)
+}
+
 fn cell_counters(perf: &CellPerf) -> BTreeMap<String, u64> {
     let mut counters = perf.counters.named();
     counters.insert("hammer_iterations".to_string(), perf.hammer_iterations);
@@ -117,6 +162,7 @@ fn table1_cell_workload() -> WorkloadPerf {
         defense: DefenseChoice::None,
         profile: ProfileChoice::Fast,
         hammer_mode: HammerMode::default(),
+        pattern: None,
         repetition: 0,
     };
     let config = CampaignConfig::ci(GOLDEN_BASE_SEED);
@@ -220,14 +266,45 @@ fn campaign_resume_workload() -> WorkloadPerf {
     WorkloadPerf::new("campaign_resume_ci_matrix", counters, wall_ns)
 }
 
+/// The pinned workload names, in report order — the single list `--list`
+/// prints and `main` executes, so the two can never drift apart.
+fn workload_names() -> Vec<String> {
+    let mut names = vec!["hammer_loop_test_small".to_string()];
+    names.extend(
+        HammerMode::all()
+            .into_iter()
+            .filter(|m| !m.is_default())
+            .map(|mode| format!("hammer_loop_test_small_{}", mode.name().replace('-', "_"))),
+    );
+    names.push("table1_cell_lenovo_t420".to_string());
+    names.push("campaign_ci_matrix".to_string());
+    names.push("campaign_resume_ci_matrix".to_string());
+    names.push("pattern_synthesis_test_small_trr".to_string());
+    names
+}
+
 fn main() -> ExitCode {
+    if std::env::args().any(|a| a == "--list") {
+        for name in workload_names() {
+            println!("{name}");
+        }
+        return ExitCode::SUCCESS;
+    }
     let check = std::env::args().any(|a| a == "--check");
     let mut workloads = vec![hammer_loop_workload()];
     workloads.extend(hammer_mode_workloads());
     workloads.push(table1_cell_workload());
     workloads.push(campaign_workload());
     workloads.push(campaign_resume_workload());
+    workloads.push(pattern_synthesis_workload());
     let report = PerfReport::new(workloads);
+    // A hard assert (perf_report only ever runs in release): `--list` must
+    // enumerate exactly the workloads that just executed.
+    assert_eq!(
+        report.workload_names(),
+        workload_names(),
+        "--list and the executed workloads must agree"
+    );
     let path = baseline_path();
 
     if check {

@@ -717,6 +717,7 @@ pub fn defense_eval(
         defense,
         profile: scale.profile_choice(),
         hammer_mode: HammerMode::default(),
+        pattern: None,
         repetition: 0,
     };
     let cell = run_cell(&coord, &config);

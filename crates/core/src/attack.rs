@@ -77,6 +77,26 @@ impl PtHammer {
         }
         pipeline.run(sys, pid)
     }
+
+    /// Like [`PtHammer::run_observed`], but drives an explicitly injected
+    /// [`HammerStrategy`](crate::HammerStrategy) instead of the one
+    /// `config.hammer_mode` names — the entry point pattern-synthesis
+    /// strategies (crate `pthammer-patterns`) execute through. The injected
+    /// strategy runs on the identical phase pipeline and emits the identical
+    /// event stream as the built-in modes.
+    pub fn run_observed_with_strategy(
+        &self,
+        sys: &mut System,
+        pid: Pid,
+        strategy: Box<dyn crate::HammerStrategy>,
+        sinks: &mut [&mut dyn EventSink],
+    ) -> Result<AttackOutcome, AttackError> {
+        let mut pipeline = AttackPipeline::with_strategy(&self.config, strategy);
+        for sink in sinks {
+            pipeline.subscribe(*sink);
+        }
+        pipeline.run(sys, pid)
+    }
 }
 
 #[cfg(test)]

@@ -300,7 +300,8 @@ impl EventSink for PipelineAccounting {
             } => {
                 self.hammer_iterations += stats.rounds;
                 self.hammer_cycles_total += stats.total_cycles;
-                self.dram_hits += stats.low_dram_hits + stats.high_dram_hits;
+                self.dram_hits +=
+                    stats.low_dram_hits + stats.high_dram_hits + stats.aggressor_dram_hits;
                 self.dram_rounds += implicit_touches_per_round * stats.rounds;
             }
             AttackEvent::FlipObserved { finding, at_cycles } => {
@@ -400,6 +401,7 @@ mod tests {
                     max_round_cycles: 110,
                     low_dram_hits: 9,
                     high_dram_hits: 8,
+                    aggressor_dram_hits: 0,
                 },
                 implicit_touches_per_round: 2,
             });

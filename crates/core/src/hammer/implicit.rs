@@ -47,6 +47,9 @@ pub struct HammerStats {
     pub low_dram_hits: u64,
     /// Iterations in which the high target's L1PTE was served from DRAM.
     pub high_dram_hits: u64,
+    /// DRAM-served implicit touches of indexed pattern aggressors
+    /// (always 0 for the pair-addressed strategies).
+    pub aggressor_dram_hits: u64,
 }
 
 impl HammerStats {

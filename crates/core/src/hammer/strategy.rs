@@ -31,6 +31,7 @@ use serde::ser::JsonWriter;
 use serde::{Deserialize, Serialize};
 
 use pthammer_kernel::{Pid, System};
+use pthammer_types::VirtAddr;
 
 use crate::config::AttackConfig;
 use crate::error::AttackError;
@@ -123,13 +124,17 @@ impl Serialize for HammerMode {
 
 impl Deserialize for HammerMode {}
 
-/// One member of a hammer pair.
+/// One member of a hammer pair — or, for many-sided patterns, an indexed
+/// aggressor of the armed aggressor set.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Target {
     /// The lower virtual address of the pair.
     Low,
     /// The upper virtual address of the pair.
     High,
+    /// The `i`-th aggressor of a many-sided armed set (pattern strategies;
+    /// index 0 is the base pair's low target, 1 its high target).
+    Aggressor(u8),
 }
 
 /// One operation of a hammer iteration. A strategy's per-round touch pattern
@@ -173,6 +178,16 @@ enum ArmedState {
     },
     /// No eviction state (explicit hammering).
     Explicit,
+    /// An n-sided aggressor set, each aggressor fully armed (pattern
+    /// hammering). Aggressor 0 is the base pair's low target, aggressor 1
+    /// its high target.
+    Multi {
+        /// Virtual address of every aggressor, in pattern index order.
+        aggressors: Vec<VirtAddr>,
+        /// Per-aggressor `(TLB set, LLC set)` eviction state, parallel to
+        /// `aggressors`.
+        sets: Vec<(TlbEvictionSet, SelectedEvictionSet)>,
+    },
 }
 
 /// Result of arming one candidate pair.
@@ -198,13 +213,46 @@ pub struct RoundOutcome {
     pub low_dram: bool,
     /// Whether the high target's implicit L1PTE load reached DRAM.
     pub high_dram: bool,
+    /// Implicit [`Target::Aggressor`] touches of this iteration whose L1PTE
+    /// load reached DRAM (0 for the pair-addressed strategies).
+    pub aggressor_dram_hits: u64,
 }
 
 impl ArmedPair {
+    /// Arms an n-sided aggressor set for pattern hammering: `aggressors[i]`
+    /// is addressed by [`Target::Aggressor`]`(i)` and hammered with
+    /// `sets[i]`. Aggressor 0 must be `pair.low` and aggressor 1 `pair.high`
+    /// (the timing-verified base pair the detection phase scans around).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `aggressors` and `sets` differ in length, fewer than two
+    /// aggressors are supplied, or the first two aggressors are not the base
+    /// pair.
+    pub fn multi(
+        pair: HammerPair,
+        aggressors: Vec<VirtAddr>,
+        sets: Vec<(TlbEvictionSet, SelectedEvictionSet)>,
+    ) -> Self {
+        assert_eq!(
+            aggressors.len(),
+            sets.len(),
+            "one eviction-set pair per aggressor"
+        );
+        assert!(aggressors.len() >= 2, "a pattern needs the base pair");
+        assert_eq!(aggressors[0], pair.low, "aggressor 0 is the base low");
+        assert_eq!(aggressors[1], pair.high, "aggressor 1 is the base high");
+        Self {
+            pair,
+            state: ArmedState::Multi { aggressors, sets },
+        }
+    }
+
     fn low_sets(&self) -> Result<(&TlbEvictionSet, &SelectedEvictionSet), AttackError> {
         match &self.state {
             ArmedState::Implicit(h) => Ok((&h.tlb_low, &h.llc_low)),
             ArmedState::ImplicitLow { tlb, llc } => Ok((tlb, llc)),
+            ArmedState::Multi { sets, .. } => Ok((&sets[0].0, &sets[0].1)),
             ArmedState::Explicit => Err(AttackError::EvictionSetUnavailable(
                 "explicit strategy has no eviction sets".to_string(),
             )),
@@ -214,6 +262,7 @@ impl ArmedPair {
     fn high_sets(&self) -> Result<(&TlbEvictionSet, &SelectedEvictionSet), AttackError> {
         match &self.state {
             ArmedState::Implicit(h) => Ok((&h.tlb_high, &h.llc_high)),
+            ArmedState::Multi { sets, .. } => Ok((&sets[1].0, &sets[1].1)),
             ArmedState::ImplicitLow { .. } | ArmedState::Explicit => {
                 Err(AttackError::EvictionSetUnavailable(
                     "strategy did not arm the high target".to_string(),
@@ -222,10 +271,54 @@ impl ArmedPair {
         }
     }
 
-    fn addr(&self, target: Target) -> pthammer_types::VirtAddr {
+    fn aggressor_sets(
+        &self,
+        index: u8,
+    ) -> Result<(&TlbEvictionSet, &SelectedEvictionSet), AttackError> {
+        match &self.state {
+            ArmedState::Multi { sets, .. } => sets
+                .get(usize::from(index))
+                .map(|(tlb, llc)| (tlb, llc))
+                .ok_or_else(|| {
+                    AttackError::EvictionSetUnavailable(format!(
+                        "pattern armed {} aggressors, op addresses index {index}",
+                        sets.len()
+                    ))
+                }),
+            _ => Err(AttackError::EvictionSetUnavailable(
+                "strategy did not arm an aggressor set".to_string(),
+            )),
+        }
+    }
+
+    fn sets_for(
+        &self,
+        target: Target,
+    ) -> Result<(&TlbEvictionSet, &SelectedEvictionSet), AttackError> {
         match target {
-            Target::Low => self.pair.low,
-            Target::High => self.pair.high,
+            Target::Low => self.low_sets(),
+            Target::High => self.high_sets(),
+            Target::Aggressor(i) => self.aggressor_sets(i),
+        }
+    }
+
+    fn addr(&self, target: Target) -> Result<VirtAddr, AttackError> {
+        match target {
+            Target::Low => Ok(self.pair.low),
+            Target::High => Ok(self.pair.high),
+            Target::Aggressor(i) => match &self.state {
+                ArmedState::Multi { aggressors, .. } => {
+                    aggressors.get(usize::from(i)).copied().ok_or_else(|| {
+                        AttackError::EvictionSetUnavailable(format!(
+                            "pattern armed {} aggressors, op addresses index {i}",
+                            aggressors.len()
+                        ))
+                    })
+                }
+                _ => Err(AttackError::EvictionSetUnavailable(
+                    "strategy did not arm an aggressor set".to_string(),
+                )),
+            },
         }
     }
 
@@ -245,34 +338,32 @@ impl ArmedPair {
         let start = sys.rdtsc();
         let mut low_dram = false;
         let mut high_dram = false;
+        let mut aggressor_dram_hits = 0u64;
         for op in ops {
             match op {
                 RoundOp::EvictTlb(t) => {
-                    let (tlb, _) = match t {
-                        Target::Low => self.low_sets()?,
-                        Target::High => self.high_sets()?,
-                    };
+                    let (tlb, _) = self.sets_for(*t)?;
                     tlb.evict(sys, pid)?;
                 }
                 RoundOp::EvictLlc(t) => {
-                    let (_, llc) = match t {
-                        Target::Low => self.low_sets()?,
-                        Target::High => self.high_sets()?,
-                    };
+                    let (_, llc) = self.sets_for(*t)?;
                     llc.evict(sys, pid)?;
                 }
                 RoundOp::TouchImplicit(t) => {
-                    let acc = sys.touch(pid, self.addr(*t))?;
+                    let acc = sys.touch(pid, self.addr(*t)?)?;
                     match t {
                         Target::Low => low_dram = acc.l1pte_from_dram,
                         Target::High => high_dram = acc.l1pte_from_dram,
+                        Target::Aggressor(_) => {
+                            aggressor_dram_hits += u64::from(acc.l1pte_from_dram);
+                        }
                     }
                 }
                 RoundOp::AccessData(t) => {
-                    sys.access(pid, self.addr(*t))?;
+                    sys.access(pid, self.addr(*t)?)?;
                 }
                 RoundOp::Clflush(t) => {
-                    sys.clflush(pid, self.addr(*t))?;
+                    sys.clflush(pid, self.addr(*t)?)?;
                 }
             }
         }
@@ -280,6 +371,7 @@ impl ArmedPair {
             cycles: sys.rdtsc() - start,
             low_dram,
             high_dram,
+            aggressor_dram_hits,
         })
     }
 }
@@ -294,7 +386,9 @@ pub trait HammerStrategy: fmt::Debug + Send {
     fn mode(&self) -> HammerMode;
 
     /// The exact per-iteration operation pattern the hammer phase executes.
-    fn round_ops(&self) -> &'static [RoundOp];
+    /// Borrowed from the strategy so synthesized (non-`'static`) patterns
+    /// can be executed through the same interpreter as the built-in modes.
+    fn round_ops(&self) -> &[RoundOp];
 
     /// Number of implicit (page-walk) target touches per iteration — the
     /// denominator of the implicit DRAM rate.
@@ -352,7 +446,7 @@ impl HammerStrategy for ImplicitDoubleSided {
         HammerMode::ImplicitDoubleSided
     }
 
-    fn round_ops(&self) -> &'static [RoundOp] {
+    fn round_ops(&self) -> &[RoundOp] {
         &IMPLICIT_DOUBLE_SIDED_OPS
     }
 
@@ -415,7 +509,7 @@ impl HammerStrategy for ExplicitDoubleSided {
         HammerMode::ExplicitDoubleSided
     }
 
-    fn round_ops(&self) -> &'static [RoundOp] {
+    fn round_ops(&self) -> &[RoundOp] {
         &EXPLICIT_DOUBLE_SIDED_OPS
     }
 
@@ -453,7 +547,7 @@ impl HammerStrategy for ImplicitSingleSided {
         HammerMode::ImplicitSingleSided
     }
 
-    fn round_ops(&self) -> &'static [RoundOp] {
+    fn round_ops(&self) -> &[RoundOp] {
         &IMPLICIT_DOUBLE_SIDED_OPS
     }
 
@@ -505,7 +599,7 @@ impl HammerStrategy for ImplicitOneLocation {
         HammerMode::ImplicitOneLocation
     }
 
-    fn round_ops(&self) -> &'static [RoundOp] {
+    fn round_ops(&self) -> &[RoundOp] {
         &IMPLICIT_ONE_LOCATION_OPS
     }
 

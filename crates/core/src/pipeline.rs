@@ -27,7 +27,7 @@ use crate::eviction::llc::LlcEvictionPool;
 use crate::eviction::tlb::TlbEvictionPool;
 use crate::exploit::{attempt_escalation, EscalationRoute};
 use crate::hammer::implicit::HammerStats;
-use crate::hammer::strategy::{ArmedPair, HammerStrategy};
+use crate::hammer::strategy::{ArmedPair, HammerStrategy, RoundOp};
 use crate::pairs::{candidate_pairs, conflict_threshold};
 use crate::report::{AttackOutcome, PageSetting};
 use crate::spray::spray_page_tables;
@@ -133,9 +133,18 @@ impl<'a, 'b> AttackPipeline<'a, 'b> {
     /// Creates the pipeline for `config`, instantiating the strategy from
     /// `config.hammer_mode`.
     pub fn new(config: &'a AttackConfig) -> Self {
+        Self::with_strategy(config, config.hammer_mode.strategy())
+    }
+
+    /// Creates the pipeline with an explicitly injected strategy instead of
+    /// one derived from `config.hammer_mode` — the hook through which
+    /// externally defined strategies (e.g. `pthammer-patterns`' synthesized
+    /// many-sided patterns) execute on the same phase pipeline, touch path
+    /// and event bus as the built-in modes.
+    pub fn with_strategy(config: &'a AttackConfig, strategy: Box<dyn HammerStrategy>) -> Self {
         Self {
             config,
-            strategy: config.hammer_mode.strategy(),
+            strategy,
             bus: EventBus::new(),
         }
     }
@@ -335,7 +344,10 @@ impl<'a, 'b> AttackPipeline<'a, 'b> {
         armed: &ArmedPair,
     ) -> Result<(), AttackError> {
         self.enter(ctx, sys, AttackPhase::Hammer);
-        let ops = self.strategy.round_ops();
+        // Copied out of the strategy (a handful of `Copy` ops, once per
+        // attempt) so emitting events below can borrow the pipeline mutably.
+        let ops: Vec<RoundOp> = self.strategy.round_ops().to_vec();
+        let ops = ops.as_slice();
         let mut stats = HammerStats {
             min_round_cycles: u64::MAX,
             ..HammerStats::default()
@@ -348,6 +360,7 @@ impl<'a, 'b> AttackPipeline<'a, 'b> {
             stats.max_round_cycles = stats.max_round_cycles.max(round.cycles);
             stats.low_dram_hits += u64::from(round.low_dram);
             stats.high_dram_hits += u64::from(round.high_dram);
+            stats.aggressor_dram_hits += round.aggressor_dram_hits;
         }
         if stats.rounds == 0 {
             stats.min_round_cycles = 0;

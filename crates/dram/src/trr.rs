@@ -56,9 +56,22 @@ impl Default for TrrConfig {
 }
 
 /// Per-bank TRR sampler state.
+///
+/// The sampler tracks the `sampler_capacity` most-recently-activated rows
+/// (the vector is kept in recency order: front = coldest, back = hottest)
+/// with a per-row activation counter. A row activated `activation_threshold`
+/// times while tracked triggers a targeted refresh of its neighbours.
+///
+/// Recency-ordered eviction is what real in-DRAM mitigations approximate
+/// with their bounded sampling hardware — and it is exactly the surface
+/// TRRespass-style attacks exploit: keep **more rows simultaneously hot
+/// than the sampler has slots** and every activation evicts the
+/// least-recently-activated entry before its counter can reach the
+/// threshold, so no targeted refresh ever fires.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub(crate) struct TrrSampler {
-    /// Tracked (row, activation count) pairs; bounded by `sampler_capacity`.
+    /// Tracked (row, activation count) pairs in recency order; bounded by
+    /// `sampler_capacity`.
     tracked: Vec<(u32, u32)>,
 }
 
@@ -66,32 +79,27 @@ impl TrrSampler {
     /// Records an activation of `row`; returns the rows whose neighbours
     /// should receive a targeted refresh.
     pub(crate) fn record(&mut self, row: u32, config: &TrrConfig) -> Option<u32> {
-        if !config.enabled {
+        if !config.enabled || config.sampler_capacity == 0 {
             return None;
         }
-        if let Some(entry) = self.tracked.iter_mut().find(|(r, _)| *r == row) {
-            entry.1 += 1;
-            if entry.1 >= config.activation_threshold {
-                entry.1 = 0;
-                return Some(row);
-            }
-            return None;
+        if let Some(pos) = self.tracked.iter().position(|(r, _)| *r == row) {
+            // Re-activation: bump the counter and move the row to the hot
+            // end, firing (and restarting the count) at the threshold.
+            let (_, count) = self.tracked.remove(pos);
+            let count = count + 1;
+            let fired = count >= config.activation_threshold;
+            self.tracked.push((row, if fired { 0 } else { count }));
+            return fired.then_some(row);
         }
-        if self.tracked.len() < config.sampler_capacity {
-            self.tracked.push((row, 1));
-        } else if !self.tracked.is_empty() {
-            // Evict the least-activated tracked row (simple, bypassable
-            // sampler — deliberately imperfect, like real TRR).
-            let min_idx = self
-                .tracked
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, (_, count))| *count)
-                .map(|(i, _)| i)
-                .expect("non-empty");
-            self.tracked[min_idx] = (row, 1);
+        if self.tracked.len() >= config.sampler_capacity {
+            // Evict the least-recently-activated row.
+            self.tracked.remove(0);
         }
-        None
+        // Degenerate threshold of 1: the first tracked activation already
+        // meets it (only reachable with `activation_threshold <= 1`).
+        let fired = 1 >= config.activation_threshold;
+        self.tracked.push((row, if fired { 0 } else { 1 }));
+        fired.then_some(row)
     }
 
     /// Clears the sampler (called at refresh-window boundaries).
@@ -151,6 +159,96 @@ mod tests {
             }
         }
         assert!(unbounded_fired >= 5);
+    }
+
+    /// Capacity 0 with TRR nominally enabled: nothing can ever be tracked,
+    /// so the sampler must neither fire nor grow state.
+    #[test]
+    fn zero_capacity_sampler_never_fires_or_tracks() {
+        let mut s = TrrSampler::default();
+        let cfg = TrrConfig::enabled(1, 0);
+        for row in 0..10_000u32 {
+            assert_eq!(s.record(row % 3, &cfg), None);
+        }
+        assert!(s.tracked.is_empty(), "capacity 0 must never allocate slots");
+    }
+
+    /// The refresh fires exactly when the tracked count *reaches* the
+    /// threshold — at the N-th activation, not before, not after — and the
+    /// count restarts from zero.
+    #[test]
+    fn fires_exactly_at_the_activation_threshold() {
+        let mut s = TrrSampler::default();
+        let cfg = TrrConfig::enabled(7, 2);
+        for i in 1..=6u32 {
+            assert_eq!(s.record(9, &cfg), None, "activation {i} is below threshold");
+        }
+        assert_eq!(s.record(9, &cfg), Some(9), "activation 7 fires");
+        for i in 1..=6u32 {
+            assert_eq!(
+                s.record(9, &cfg),
+                None,
+                "post-fire activation {i} restarts the count"
+            );
+        }
+        assert_eq!(s.record(9, &cfg), Some(9), "fires again at the threshold");
+        // Threshold 1 is the degenerate edge: every activation fires.
+        let mut s = TrrSampler::default();
+        let cfg = TrrConfig::enabled(1, 2);
+        assert_eq!(s.record(4, &cfg), Some(4));
+        assert_eq!(s.record(4, &cfg), Some(4));
+    }
+
+    /// The TRRespass mechanism, proven deterministically: a rotating
+    /// sequence of `k + 1` distinct rows over a capacity-`k` sampler evicts
+    /// every row before its second activation, so a tracked aggressor that
+    /// was one activation from firing is flushed by the rotation and the
+    /// sampler never fires at all.
+    #[test]
+    fn rotating_many_sided_sequence_evicts_a_tracked_aggressor() {
+        let k = 4usize;
+        let cfg = TrrConfig::enabled(3, k);
+        let mut s = TrrSampler::default();
+
+        // Prime the aggressor to one activation below the threshold.
+        assert_eq!(s.record(100, &cfg), None);
+        assert_eq!(s.record(100, &cfg), None);
+        assert!(s.tracked.iter().any(|&(r, c)| r == 100 && c == 2));
+
+        // One full rotation of k other rows: the aggressor becomes the
+        // least-recently-activated entry and is evicted with its count.
+        for row in 0..k as u32 {
+            assert_eq!(s.record(row, &cfg), None);
+        }
+        assert!(
+            s.tracked.iter().all(|&(r, _)| r != 100),
+            "the rotation must evict the primed aggressor: {:?}",
+            s.tracked
+        );
+
+        // Its next activation is therefore counted from one again, and a
+        // sustained (k+1)-row rotation keeps every count at one forever:
+        // the sampler never fires on any of them.
+        let mut s = TrrSampler::default();
+        for i in 0..10_000u32 {
+            assert_eq!(
+                s.record(i % (k as u32 + 1), &cfg),
+                None,
+                "a {}-row rotation must starve a capacity-{k} sampler",
+                k + 1
+            );
+        }
+        assert!(s.tracked.iter().all(|&(_, c)| c <= 1));
+
+        // Control: the same rotation over k rows fits the sampler and fires.
+        let mut s = TrrSampler::default();
+        let mut fired = 0;
+        for i in 0..60u32 {
+            if s.record(i % k as u32, &cfg).is_some() {
+                fired += 1;
+            }
+        }
+        assert_eq!(fired, 20, "k rows at threshold 3 fire every 3rd pass");
     }
 
     #[test]

@@ -1,8 +1,10 @@
 //! The campaign runner: fan cells out over worker threads, aggregate rows.
 
-use pthammer::{AttackConfig, EventSink, HammerMode, PtHammer};
+use pthammer::{pairs::pair_stride, AttackConfig, EventSink, HammerMode, PtHammer};
 use pthammer_defenses::DefenseChoice;
 use pthammer_kernel::KernelConfig;
+use pthammer_machine::MachineConfig;
+use pthammer_patterns::{PatternHammer, SynthesisConfig};
 use pthammer_perf::{HammerEventTally, MachineCounters};
 use rayon::prelude::*;
 use rayon::ThreadPoolBuilder;
@@ -72,6 +74,23 @@ impl CampaignConfig {
         }
     }
 
+    /// CI-scale configuration for the TRR-era matrix
+    /// ([`ScenarioMatrix::trr_pattern_ci`]): like [`ci`](Self::ci) but with
+    /// a full 1 GiB page-table spray — eight pair strides on the small test
+    /// machines, enough room for many-sided aggressor sets larger than the
+    /// TRR sampler — and a bigger attempt budget: wide aggressor windows are
+    /// rejected (or occasionally false-arm and waste an attempt) whenever a
+    /// mid-spray kernel page-table allocation splits their rows across two
+    /// banks, so pattern cells need several candidates to land a clean,
+    /// fully verified window over a weak victim.
+    pub fn trr_ci(base_seed: u64) -> Self {
+        Self {
+            spray_bytes: 1 << 30,
+            max_attempts: 10,
+            ..Self::ci(base_seed)
+        }
+    }
+
     /// Scaled configuration matching the bench scenarios' default mode
     /// (Table I machines with the `fast` profile).
     pub fn scaled(base_seed: u64) -> Self {
@@ -114,6 +133,20 @@ impl CampaignConfig {
             cta_cred_spray: 32_000,
             zebram_attempt_cap: 6,
             tlb_trim_tolerance: paper.tlb_trim_tolerance,
+        }
+    }
+
+    /// The synthesis configuration pattern cells search with: the machine's
+    /// TRR sampler, timings and flip thresholds, plus how many pair strides
+    /// this campaign's spray actually offers (wide aggressor sets must fit
+    /// it to arm).
+    pub fn synthesis_config(&self, machine: &MachineConfig) -> SynthesisConfig {
+        let stride = pair_stride(machine.dram.geometry.row_span_bytes());
+        SynthesisConfig {
+            spray_strides: u32::try_from(self.spray_bytes / stride)
+                .unwrap_or(u32::MAX)
+                .max(1),
+            ..SynthesisConfig::for_machine(machine)
         }
     }
 
@@ -195,12 +228,14 @@ pub fn run_cell_instrumented(coord: &CellCoord, config: &CampaignConfig) -> (Cel
         defense: coord.defense.kind(),
         profile: coord.profile.name().to_string(),
         hammer_mode: coord.hammer_mode,
+        pattern: coord.pattern,
         repetition: coord.repetition,
         cell_seed: seed,
         escalated: false,
         attempts: 0,
         flips_observed: 0,
         exploitable_flips: 0,
+        trr_refreshes: 0,
         implicit_dram_rate: 0.0,
         seconds_to_first_flip: None,
         seconds_to_escalation: None,
@@ -209,6 +244,7 @@ pub fn run_cell_instrumented(coord: &CellCoord, config: &CampaignConfig) -> (Cel
     };
 
     let machine_cfg = coord.machine.config(coord.profile.profile(), seed);
+    let synthesis_cfg = config.synthesis_config(&machine_cfg);
     let kernel_cfg = if config.superpages {
         KernelConfig::with_superpages()
     } else {
@@ -230,9 +266,27 @@ pub fn run_cell_instrumented(coord: &CellCoord, config: &CampaignConfig) -> (Cel
         }
         let attack = PtHammer::new(config.attack_config(seed, coord.defense, coord.hammer_mode))
             .map_err(|e| e.to_string())?;
-        attack
-            .run_observed(&mut sys, pid, &mut [tally as &mut dyn EventSink])
-            .map_err(|e| e.to_string())
+        match coord.pattern {
+            // Pattern cells resolve their pattern deterministically from the
+            // cell seed (synthesized cells run the search) and execute it
+            // through the injected `PatternHammer` strategy — same pipeline,
+            // same event stream.
+            Some(choice) => {
+                let pattern = choice.resolve(&synthesis_cfg, seed);
+                let strategy = Box::new(PatternHammer::new(pattern).map_err(|e| e.to_string())?);
+                attack
+                    .run_observed_with_strategy(
+                        &mut sys,
+                        pid,
+                        strategy,
+                        &mut [tally as &mut dyn EventSink],
+                    )
+                    .map_err(|e| e.to_string())
+            }
+            None => attack
+                .run_observed(&mut sys, pid, &mut [tally as &mut dyn EventSink])
+                .map_err(|e| e.to_string()),
+        }
     })(&mut tally);
 
     match outcome {
@@ -257,6 +311,10 @@ pub fn run_cell_instrumented(coord: &CellCoord, config: &CampaignConfig) -> (Cel
         hammer_iterations: tally.iterations,
         sim_cycles: sys.rdtsc(),
     };
+    // Mitigation interventions are part of the result row: campaigns on
+    // TRR-era machines report how often the sampler fired against the cell
+    // (0 — and no JSON key — on the paper's TRR-free DDR3 machines).
+    report.trr_refreshes = perf.counters.dram.trr_refreshes;
     (report, perf)
 }
 
@@ -359,6 +417,7 @@ mod tests {
             defense: DefenseChoice::None,
             profile: ProfileChoice::Invulnerable,
             hammer_mode: HammerMode::default(),
+            pattern: None,
             repetition: 0,
         };
         let row = run_cell(&coord, &config);

@@ -14,6 +14,7 @@ use std::str::FromStr;
 
 use pthammer::HammerMode;
 use pthammer_kernel::DefenseKind;
+use pthammer_patterns::PatternChoice;
 
 use crate::report::CellReport;
 
@@ -82,11 +83,32 @@ pub fn cell_report_from_json(body: &str) -> Result<CellReport, String> {
         }
     };
 
+    // `pattern` is emitted only for pattern cells; absence decodes to none.
+    let pattern = match value.get("pattern") {
+        None => None,
+        Some(v) => {
+            let name = v
+                .as_str()
+                .ok_or_else(|| "cell field `pattern` is not a string".to_string())?;
+            Some(PatternChoice::from_str(name)?)
+        }
+    };
+
+    // `trr_refreshes` is emitted only when non-zero (TRR-era machines);
+    // absence decodes to zero.
+    let trr_refreshes = match value.get("trr_refreshes") {
+        None => 0,
+        Some(v) => v
+            .as_u64()
+            .ok_or_else(|| "cell field `trr_refreshes` is not an unsigned integer".to_string())?,
+    };
+
     Ok(CellReport {
         machine: string("machine")?,
         defense: DefenseKind::from_str(&string("defense")?)?,
         profile: string("profile")?,
         hammer_mode,
+        pattern,
         repetition: u32::try_from(u64_of("repetition")?)
             .map_err(|_| "cell field `repetition` overflows u32".to_string())?,
         cell_seed: u64_of("cell_seed")?,
@@ -96,6 +118,7 @@ pub fn cell_report_from_json(body: &str) -> Result<CellReport, String> {
         attempts: u64_of("attempts")? as usize,
         flips_observed: u64_of("flips_observed")? as usize,
         exploitable_flips: u64_of("exploitable_flips")? as usize,
+        trr_refreshes,
         implicit_dram_rate: f64_of("implicit_dram_rate")?,
         seconds_to_first_flip: opt_f64("seconds_to_first_flip")?,
         seconds_to_escalation: opt_f64("seconds_to_escalation")?,
@@ -114,12 +137,14 @@ mod tests {
             defense: DefenseKind::RipRh,
             profile: "ci".into(),
             hammer_mode: HammerMode::ImplicitOneLocation,
+            pattern: Some(PatternChoice::Synthesized),
             repetition: 2,
             cell_seed: u64::MAX - 1,
             escalated: true,
             attempts: 3,
             flips_observed: 7,
             exploitable_flips: 1,
+            trr_refreshes: u64::MAX - 3,
             implicit_dram_rate: 0.1 + 0.2, // not exactly representable
             seconds_to_first_flip: Some(1.0e-7),
             seconds_to_escalation: None,
@@ -133,6 +158,8 @@ mod tests {
         for report in [tricky_report(), {
             let mut r = tricky_report();
             r.hammer_mode = HammerMode::default();
+            r.pattern = None;
+            r.trr_refreshes = 0;
             r.route = None;
             r.error = None;
             r
@@ -160,6 +187,19 @@ mod tests {
             cell_report_from_json(&body).unwrap().hammer_mode,
             HammerMode::ImplicitDoubleSided
         );
+    }
+
+    #[test]
+    fn missing_pattern_and_trr_keys_decode_to_their_defaults() {
+        let mut report = tricky_report();
+        report.pattern = None;
+        report.trr_refreshes = 0;
+        let body = serde_json::to_string(&report).unwrap();
+        assert!(!body.contains("\"pattern\""));
+        assert!(!body.contains("trr_refreshes"));
+        let decoded = cell_report_from_json(&body).unwrap();
+        assert_eq!(decoded.pattern, None);
+        assert_eq!(decoded.trr_refreshes, 0);
     }
 
     #[test]

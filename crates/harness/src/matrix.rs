@@ -4,6 +4,7 @@ use pthammer::HammerMode;
 use pthammer_defenses::DefenseChoice;
 use pthammer_dram::FlipModelProfile;
 use pthammer_machine::MachineChoice;
+use pthammer_patterns::PatternChoice;
 use serde::ser::JsonWriter;
 use serde::{Deserialize, Serialize};
 
@@ -66,6 +67,10 @@ pub struct CellCoord {
     pub profile: ProfileChoice,
     /// Hammer strategy the cell's attack pipeline runs.
     pub hammer_mode: HammerMode,
+    /// Many-sided pattern source, if any: `Some` replaces the hammer
+    /// strategy with a `PatternHammer` executing the chosen pattern
+    /// (synthesized cells search from the cell seed).
+    pub pattern: Option<PatternChoice>,
     /// Repetition index (varies only the seed).
     pub repetition: u32,
 }
@@ -82,14 +87,19 @@ pub struct ScenarioMatrix {
     /// Hammer-strategy axis (defaults to the paper's implicit double-sided
     /// mode only).
     pub hammer_modes: Vec<HammerMode>,
-    /// Seed repetitions per (machine, defense, profile, mode) combination.
+    /// Pattern axis (defaults to `[None]`: no many-sided patterns). `Some`
+    /// entries run a synthesized/preset pattern through `PatternHammer`
+    /// instead of the cell's hammer mode.
+    pub patterns: Vec<Option<PatternChoice>>,
+    /// Seed repetitions per (machine, defense, profile, mode, pattern)
+    /// combination.
     pub repetitions: u32,
 }
 
-// Hand-written so a default-mode-only matrix serializes exactly as it did
-// before the hammer-mode axis existed: the `hammer_modes` key is emitted
-// only for campaigns that actually sweep the axis, keeping the golden
-// snapshot byte-identical.
+// Hand-written so a default-mode-only, pattern-free matrix serializes
+// exactly as it did before those axes existed: the `hammer_modes` and
+// `patterns` keys are emitted only for campaigns that actually sweep them,
+// keeping the golden snapshot byte-identical.
 impl Serialize for ScenarioMatrix {
     fn serialize(&self, w: &mut JsonWriter) {
         w.begin_object();
@@ -102,6 +112,10 @@ impl Serialize for ScenarioMatrix {
         if !self.is_default_mode_only() {
             w.key("hammer_modes");
             self.hammer_modes.serialize(w);
+        }
+        if !self.is_pattern_free() {
+            w.key("patterns");
+            self.patterns.serialize(w);
         }
         w.key("repetitions");
         self.repetitions.serialize(w);
@@ -123,6 +137,7 @@ impl ScenarioMatrix {
             defenses,
             profiles,
             hammer_modes: vec![HammerMode::default()],
+            patterns: vec![None],
             repetitions,
         }
     }
@@ -133,10 +148,42 @@ impl ScenarioMatrix {
         self
     }
 
+    /// Replaces the pattern axis (builder style). `None` entries run the
+    /// cell's hammer mode; `Some` entries run the chosen many-sided pattern.
+    pub fn with_patterns(mut self, patterns: Vec<Option<PatternChoice>>) -> Self {
+        self.patterns = patterns;
+        self
+    }
+
     /// True when the hammer-mode axis is exactly the paper default — the
     /// case whose serialization (and golden snapshot) predates the axis.
     pub fn is_default_mode_only(&self) -> bool {
         self.hammer_modes.len() == 1 && self.hammer_modes[0].is_default()
+    }
+
+    /// True when the pattern axis is exactly `[None]` — the case whose
+    /// serialization (and golden snapshot) predates the axis.
+    pub fn is_pattern_free(&self) -> bool {
+        self.patterns == [None]
+    }
+
+    /// The pinned TRR-era regression matrix: the plain CI machine and its
+    /// TRR twin, undefended, the `ci` and `invulnerable` profiles, with the
+    /// pattern axis sweeping none → synthesized → the uniform 4-sided
+    /// control — 2 × 1 × 2 × 3 × 2 = 24 cells showing "double-sided dies
+    /// under TRR, synthesized n-sided still flips".
+    pub fn trr_pattern_ci() -> Self {
+        Self::new(
+            vec![MachineChoice::TestSmall, MachineChoice::TestSmallTrr],
+            vec![DefenseChoice::None],
+            vec![ProfileChoice::Ci, ProfileChoice::Invulnerable],
+            2,
+        )
+        .with_patterns(vec![
+            None,
+            Some(PatternChoice::Synthesized),
+            Some(PatternChoice::UniformFourSided),
+        ])
     }
 
     /// The CI-scale regression matrix pinned by the golden snapshots: the
@@ -157,6 +204,7 @@ impl ScenarioMatrix {
             * self.defenses.len()
             * self.profiles.len()
             * self.hammer_modes.len()
+            * self.patterns.len()
             * self.repetitions as usize
     }
 
@@ -174,14 +222,17 @@ impl ScenarioMatrix {
             for &defense in &self.defenses {
                 for &profile in &self.profiles {
                     for &hammer_mode in &self.hammer_modes {
-                        for repetition in 0..self.repetitions {
-                            cells.push(CellCoord {
-                                machine,
-                                defense,
-                                profile,
-                                hammer_mode,
-                                repetition,
-                            });
+                        for &pattern in &self.patterns {
+                            for repetition in 0..self.repetitions {
+                                cells.push(CellCoord {
+                                    machine,
+                                    defense,
+                                    profile,
+                                    hammer_mode,
+                                    pattern,
+                                    repetition,
+                                });
+                            }
                         }
                     }
                 }
@@ -207,6 +258,9 @@ impl ScenarioMatrix {
         }
         if self.hammer_modes.is_empty() {
             return Err("matrix has no hammer modes".to_string());
+        }
+        if self.patterns.is_empty() {
+            return Err("matrix has no pattern-axis entries".to_string());
         }
         if self.repetitions == 0 {
             return Err("matrix has zero repetitions".to_string());
@@ -265,6 +319,44 @@ mod tests {
             let _ = p.profile();
         }
         assert_eq!(ProfileChoice::Ci.name(), "ci");
+    }
+
+    #[test]
+    fn pattern_axis_extends_the_cross_product() {
+        let m = ScenarioMatrix::trr_pattern_ci();
+        assert_eq!(m.len(), 24, "2 machines × 2 profiles × 3 patterns × 2");
+        assert!(!m.is_pattern_free());
+        assert!(m.validate().is_ok());
+        let cells = m.cells();
+        assert_eq!(cells.len(), m.len());
+        assert_eq!(cells[0].pattern, None);
+        assert!(cells
+            .iter()
+            .any(|c| c.pattern == Some(PatternChoice::Synthesized)));
+        let m = ScenarioMatrix::ci_default();
+        assert!(m.is_pattern_free());
+        assert!(m.cells().iter().all(|c| c.pattern.is_none()));
+        let m = ScenarioMatrix::ci_default().with_patterns(vec![]);
+        assert!(m.validate().is_err());
+    }
+
+    #[test]
+    fn pattern_free_matrix_serializes_without_the_axis() {
+        let mut w = JsonWriter::new(false);
+        ScenarioMatrix::ci_default().serialize(&mut w);
+        assert!(!w.into_string().contains("patterns"));
+
+        let mut w = JsonWriter::new(false);
+        ScenarioMatrix::trr_pattern_ci().serialize(&mut w);
+        let json = w.into_string();
+        assert!(
+            json.contains("\"patterns\":[null,\"synthesized\",\"uniform-4-sided\"]"),
+            "{json}"
+        );
+        // Key order: the axis sits between hammer modes (when present) /
+        // profiles and repetitions.
+        assert!(json.find("profiles").unwrap() < json.find("patterns").unwrap());
+        assert!(json.find("patterns").unwrap() < json.find("repetitions").unwrap());
     }
 
     #[test]

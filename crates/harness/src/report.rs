@@ -2,6 +2,7 @@
 
 use pthammer::HammerMode;
 use pthammer_kernel::DefenseKind;
+use pthammer_patterns::PatternChoice;
 use serde::ser::JsonWriter;
 use serde::{Deserialize, Serialize};
 
@@ -23,6 +24,10 @@ pub struct CellReport {
     /// Hammer strategy the cell ran (coordinate). Serialized only for
     /// non-default modes, so pre-axis snapshots stay byte-identical.
     pub hammer_mode: HammerMode,
+    /// Many-sided pattern source the cell ran, if any (coordinate).
+    /// Serialized only when present (pre-axis snapshots stay
+    /// byte-identical).
+    pub pattern: Option<PatternChoice>,
     /// Repetition index (coordinate).
     pub repetition: u32,
     /// The seed derived from the coordinates (for reproducing this cell in
@@ -36,6 +41,10 @@ pub struct CellReport {
     pub flips_observed: usize,
     /// Exploitable flips (captured an L1PT or cred page).
     pub exploitable_flips: usize,
+    /// Targeted refreshes the machine's TRR mitigation issued during the
+    /// cell (0 on TRR-free machines). Serialized only when non-zero, so
+    /// pre-TRR snapshots stay byte-identical.
+    pub trr_refreshes: u64,
     /// Fraction of hammer iterations whose L1PTE loads reached DRAM.
     pub implicit_dram_rate: f64,
     /// Simulated seconds until the first flip, if one occurred.
@@ -48,9 +57,10 @@ pub struct CellReport {
     pub error: Option<String>,
 }
 
-// Hand-written: `defense` serializes as its display name and `hammer_mode`
-// is emitted only when it is not the paper default — the golden snapshot
-// predates the mode axis and must stay byte-identical.
+// Hand-written: `defense` serializes as its display name; `hammer_mode` is
+// emitted only when it is not the paper default, `pattern` only when
+// present, and `trr_refreshes` only when non-zero — the golden snapshot
+// predates those axes and must stay byte-identical.
 impl Serialize for CellReport {
     fn serialize(&self, w: &mut JsonWriter) {
         w.begin_object();
@@ -64,6 +74,10 @@ impl Serialize for CellReport {
             w.key("hammer_mode");
             w.string(self.hammer_mode.name());
         }
+        if let Some(pattern) = self.pattern {
+            w.key("pattern");
+            w.string(pattern.name());
+        }
         w.key("repetition");
         self.repetition.serialize(w);
         w.key("cell_seed");
@@ -76,6 +90,10 @@ impl Serialize for CellReport {
         self.flips_observed.serialize(w);
         w.key("exploitable_flips");
         self.exploitable_flips.serialize(w);
+        if self.trr_refreshes != 0 {
+            w.key("trr_refreshes");
+            self.trr_refreshes.serialize(w);
+        }
         w.key("implicit_dram_rate");
         self.implicit_dram_rate.serialize(w);
         w.key("seconds_to_first_flip");
@@ -105,6 +123,9 @@ pub struct DefenseSummary {
     /// Hammer strategy the cells ran. Serialized only for non-default
     /// modes (golden-snapshot compatibility).
     pub hammer_mode: HammerMode,
+    /// Pattern source the cells ran, if any. Serialized only when present
+    /// (golden-snapshot compatibility).
+    pub pattern: Option<PatternChoice>,
     /// Number of cells aggregated (including errored ones).
     pub cells: usize,
     /// Cells that aborted with an error; excluded from every rate and mean
@@ -140,6 +161,10 @@ impl Serialize for DefenseSummary {
         if !self.hammer_mode.is_default() {
             w.key("hammer_mode");
             w.string(self.hammer_mode.name());
+        }
+        if let Some(pattern) = self.pattern {
+            w.key("pattern");
+            w.string(pattern.name());
         }
         w.key("cells");
         self.cells.serialize(w);
@@ -202,72 +227,79 @@ impl CampaignReport {
         for d in &matrix.defenses {
             for p in &matrix.profiles {
                 for &m in &matrix.hammer_modes {
-                    let rows: Vec<&CellReport> = cells
-                        .iter()
-                        .filter(|c| {
-                            c.defense == d.kind() && c.profile == p.name() && c.hammer_mode == m
-                        })
-                        .collect();
-                    let completed: Vec<&CellReport> =
-                        rows.iter().filter(|c| c.error.is_none()).copied().collect();
-                    let n = completed.len();
-                    let escalations = completed.iter().filter(|c| c.escalated).count();
-                    let flip_cells = completed.iter().filter(|c| c.flips_observed > 0).count();
-                    let escalation_rate = if n == 0 {
-                        0.0
-                    } else {
-                        escalations as f64 / n as f64
-                    };
-                    let mean = |f: &dyn Fn(&CellReport) -> f64| {
-                        if n == 0 {
-                            0.0
-                        } else {
-                            completed.iter().map(|c| f(c)).sum::<f64>() / n as f64
-                        }
-                    };
-                    let first_flip: Vec<f64> = completed
-                        .iter()
-                        .filter_map(|c| c.seconds_to_first_flip)
-                        .collect();
-                    let baseline_rate = {
-                        let base: Vec<&CellReport> = cells
+                    for &pat in &matrix.patterns {
+                        let rows: Vec<&CellReport> = cells
                             .iter()
                             .filter(|c| {
-                                c.defense == DefenseKind::Undefended
+                                c.defense == d.kind()
                                     && c.profile == p.name()
                                     && c.hammer_mode == m
-                                    && c.error.is_none()
+                                    && c.pattern == pat
                             })
                             .collect();
-                        if base.is_empty() {
-                            None
+                        let completed: Vec<&CellReport> =
+                            rows.iter().filter(|c| c.error.is_none()).copied().collect();
+                        let n = completed.len();
+                        let escalations = completed.iter().filter(|c| c.escalated).count();
+                        let flip_cells = completed.iter().filter(|c| c.flips_observed > 0).count();
+                        let escalation_rate = if n == 0 {
+                            0.0
                         } else {
-                            Some(
-                                base.iter().filter(|c| c.escalated).count() as f64
-                                    / base.len() as f64,
-                            )
-                        }
-                    };
-                    summaries.push(DefenseSummary {
-                        defense: d.kind(),
-                        profile: p.name().to_string(),
-                        hammer_mode: m,
-                        cells: rows.len(),
-                        errored_cells: rows.len() - n,
-                        escalations,
-                        escalation_rate,
-                        flip_cells,
-                        mean_flips: mean(&|c| c.flips_observed as f64),
-                        mean_exploitable_flips: mean(&|c| c.exploitable_flips as f64),
-                        mean_implicit_dram_rate: mean(&|c| c.implicit_dram_rate),
-                        mean_seconds_to_first_flip: if first_flip.is_empty() {
-                            None
-                        } else {
-                            Some(first_flip.iter().sum::<f64>() / first_flip.len() as f64)
-                        },
-                        escalation_rate_delta_vs_undefended: baseline_rate
-                            .map(|base| escalation_rate - base),
-                    });
+                            escalations as f64 / n as f64
+                        };
+                        let mean = |f: &dyn Fn(&CellReport) -> f64| {
+                            if n == 0 {
+                                0.0
+                            } else {
+                                completed.iter().map(|c| f(c)).sum::<f64>() / n as f64
+                            }
+                        };
+                        let first_flip: Vec<f64> = completed
+                            .iter()
+                            .filter_map(|c| c.seconds_to_first_flip)
+                            .collect();
+                        let baseline_rate = {
+                            let base: Vec<&CellReport> = cells
+                                .iter()
+                                .filter(|c| {
+                                    c.defense == DefenseKind::Undefended
+                                        && c.profile == p.name()
+                                        && c.hammer_mode == m
+                                        && c.pattern == pat
+                                        && c.error.is_none()
+                                })
+                                .collect();
+                            if base.is_empty() {
+                                None
+                            } else {
+                                Some(
+                                    base.iter().filter(|c| c.escalated).count() as f64
+                                        / base.len() as f64,
+                                )
+                            }
+                        };
+                        summaries.push(DefenseSummary {
+                            defense: d.kind(),
+                            profile: p.name().to_string(),
+                            hammer_mode: m,
+                            pattern: pat,
+                            cells: rows.len(),
+                            errored_cells: rows.len() - n,
+                            escalations,
+                            escalation_rate,
+                            flip_cells,
+                            mean_flips: mean(&|c| c.flips_observed as f64),
+                            mean_exploitable_flips: mean(&|c| c.exploitable_flips as f64),
+                            mean_implicit_dram_rate: mean(&|c| c.implicit_dram_rate),
+                            mean_seconds_to_first_flip: if first_flip.is_empty() {
+                                None
+                            } else {
+                                Some(first_flip.iter().sum::<f64>() / first_flip.len() as f64)
+                            },
+                            escalation_rate_delta_vs_undefended: baseline_rate
+                                .map(|base| escalation_rate - base),
+                        });
+                    }
                 }
             }
         }
@@ -288,12 +320,14 @@ mod tests {
             defense: defense.kind(),
             profile: "ci".into(),
             hammer_mode: HammerMode::default(),
+            pattern: None,
             repetition: 0,
             cell_seed: 1,
             escalated,
             attempts: 2,
             flips_observed: flips,
             exploitable_flips: usize::from(escalated),
+            trr_refreshes: 0,
             implicit_dram_rate: 0.9,
             seconds_to_first_flip: if flips > 0 { Some(1.5) } else { None },
             seconds_to_escalation: None,
@@ -439,6 +473,54 @@ mod tests {
         // Default-mode reports carry no hammer_mode keys anywhere — the
         // pre-axis golden snapshot stays byte-identical.
         assert!(!a.contains("hammer_mode"));
+    }
+
+    #[test]
+    fn pattern_rows_and_summaries_carry_the_pattern_key() {
+        let mut row = cell(DefenseChoice::None, false, 0);
+        row.pattern = Some(PatternChoice::Synthesized);
+        row.trr_refreshes = 17;
+        let mut w = JsonWriter::new(false);
+        row.serialize(&mut w);
+        let json = w.into_string();
+        assert!(json.contains("\"pattern\":\"synthesized\""));
+        assert!(json.contains("\"trr_refreshes\":17"));
+        assert!(json.find("\"pattern\"").unwrap() < json.find("\"repetition\"").unwrap());
+        assert!(
+            json.find("\"exploitable_flips\"").unwrap() < json.find("\"trr_refreshes\"").unwrap()
+        );
+        assert!(
+            json.find("\"trr_refreshes\"").unwrap() < json.find("\"implicit_dram_rate\"").unwrap()
+        );
+
+        // Pattern summaries split from the mode rows and use per-pattern
+        // undefended baselines.
+        let m = ScenarioMatrix::new(
+            vec![MachineChoice::TestSmall],
+            vec![DefenseChoice::None],
+            vec![ProfileChoice::Ci],
+            1,
+        )
+        .with_patterns(vec![None, Some(PatternChoice::Synthesized)]);
+        let cells = vec![cell(DefenseChoice::None, false, 0), {
+            let mut c = cell(DefenseChoice::None, true, 2);
+            c.pattern = Some(PatternChoice::Synthesized);
+            c
+        }];
+        let summaries = CampaignReport::summarize(&m, &cells);
+        assert_eq!(summaries.len(), 2);
+        assert_eq!(summaries[0].pattern, None);
+        assert!((summaries[0].escalation_rate - 0.0).abs() < 1e-12);
+        assert_eq!(summaries[1].pattern, Some(PatternChoice::Synthesized));
+        assert!((summaries[1].escalation_rate - 1.0).abs() < 1e-12);
+        assert_eq!(
+            summaries[1].escalation_rate_delta_vs_undefended,
+            Some(0.0),
+            "pattern rows compare against the pattern undefended baseline"
+        );
+        let mut w = JsonWriter::new(false);
+        summaries[1].serialize(&mut w);
+        assert!(w.into_string().contains("\"pattern\":\"synthesized\""));
     }
 
     #[test]

@@ -49,14 +49,22 @@ use crate::seeding::CELL_SEED_SCHEMA_VERSION;
 /// those cells share attacker randomness but have distinct results, and each
 /// gets its own store entry.
 pub fn cell_store_key(coord: &CellCoord) -> CellKey {
+    // The pattern coordinate is appended only for pattern cells, so every
+    // pre-pattern cell key (and any store computed before the axis existed)
+    // stays exactly as it was.
+    let pattern = match coord.pattern {
+        Some(p) => format!("|pattern={}", p.name()),
+        None => String::new(),
+    };
     CellKey::from_canonical(&format!(
-        "pthammer-cell|s{}|machine={}|defense={}|profile={}|mode={}|rep={}",
+        "pthammer-cell|s{}|machine={}|defense={}|profile={}|mode={}|rep={}{}",
         CELL_SEED_SCHEMA_VERSION,
         coord.machine.name(),
         coord.defense.kind().name(),
         coord.profile.name(),
         coord.hammer_mode.name(),
         coord.repetition,
+        pattern,
     ))
 }
 
@@ -420,6 +428,7 @@ mod tests {
             defense: DefenseChoice::None,
             profile: ProfileChoice::Ci,
             hammer_mode: pthammer::HammerMode::default(),
+            pattern: None,
             repetition: 0,
         };
         assert_eq!(cell_store_key(&coord), cell_store_key(&coord.clone()));

@@ -39,12 +39,14 @@ fn mix(mut z: u64) -> u64 {
 /// Derives the deterministic seed for one campaign cell.
 ///
 /// The hash input is `(base_seed, machine name, profile name, repetition)` —
-/// deliberately **not** the defense and **not** the hammer mode: cells that
-/// differ only in those axes share a seed, so they attack the *same* DRAM
-/// weak-cell map with the same attacker randomness, and the per-defense /
-/// per-strategy deltas isolate the axis itself (the paper's Section IV-G
-/// methodology, extended to strategy sweeps). Identical coordinates always
-/// map to an identical seed regardless of matrix position.
+/// deliberately **not** the defense, **not** the hammer mode, and **not**
+/// the pattern coordinate: cells that differ only in those axes share a
+/// seed, so they attack the *same* DRAM weak-cell map with the same attacker
+/// randomness (and pattern cells synthesize from the same seed), and the
+/// per-defense / per-strategy / per-pattern deltas isolate the axis itself
+/// (the paper's Section IV-G methodology, extended to strategy and pattern
+/// sweeps). Identical coordinates always map to an identical seed regardless
+/// of matrix position.
 pub fn cell_seed(base_seed: u64, coord: &CellCoord) -> u64 {
     let label = format!(
         "{}|{}|{}",
@@ -68,6 +70,7 @@ mod tests {
             defense: DefenseChoice::None,
             profile: ProfileChoice::Ci,
             hammer_mode: pthammer::HammerMode::default(),
+            pattern: None,
             repetition: rep,
         }
     }
@@ -99,6 +102,17 @@ mod tests {
         let mut one_location = coord(0);
         one_location.hammer_mode = pthammer::HammerMode::ImplicitOneLocation;
         assert_eq!(cell_seed(1, &coord(0)), cell_seed(1, &one_location));
+    }
+
+    #[test]
+    fn pattern_axis_shares_the_seed_for_controlled_comparison() {
+        // Pattern sweeps follow the defense/mode-axis rule: rows differing
+        // only in the pattern coordinate attack the same weak-cell map (and
+        // synthesize from the same seed), so stock-vs-pattern flip deltas
+        // isolate the pattern itself.
+        let mut synthesized = coord(0);
+        synthesized.pattern = Some(pthammer_patterns::PatternChoice::Synthesized);
+        assert_eq!(cell_seed(1, &coord(0)), cell_seed(1, &synthesized));
     }
 
     #[test]

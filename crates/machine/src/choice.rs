@@ -21,6 +21,12 @@ pub enum MachineChoice {
     DellE6420,
     /// Small test machine (CI scale; not part of Table I).
     TestSmall,
+    /// The small test machine with an in-DRAM TRR mitigation (CI scale;
+    /// post-DDR3 era, not part of Table I).
+    TestSmallTrr,
+    /// DDR4-class 8 GiB machine with TRR (post-DDR3 era, not part of
+    /// Table I).
+    Ddr4Trr,
 }
 
 impl MachineChoice {
@@ -46,6 +52,17 @@ impl MachineChoice {
         }
     }
 
+    /// The TRR-era machines (in-DRAM mitigation enabled; not part of
+    /// Table I — the paper's DDR3 machines have no TRR).
+    pub fn trr_machines() -> Vec<MachineChoice> {
+        vec![MachineChoice::TestSmallTrr, MachineChoice::Ddr4Trr]
+    }
+
+    /// Whether this machine models an in-DRAM TRR mitigation.
+    pub fn has_trr(&self) -> bool {
+        matches!(self, MachineChoice::TestSmallTrr | MachineChoice::Ddr4Trr)
+    }
+
     /// Human-readable machine name.
     pub fn name(&self) -> &'static str {
         match self {
@@ -53,6 +70,8 @@ impl MachineChoice {
             MachineChoice::LenovoX230 => "Lenovo X230",
             MachineChoice::DellE6420 => "Dell E6420",
             MachineChoice::TestSmall => "Test Small",
+            MachineChoice::TestSmallTrr => "Test Small TRR",
+            MachineChoice::Ddr4Trr => "DDR4 TRR",
         }
     }
 
@@ -63,6 +82,8 @@ impl MachineChoice {
             MachineChoice::LenovoX230 => MachineConfig::lenovo_x230(profile, seed),
             MachineChoice::DellE6420 => MachineConfig::dell_e6420(profile, seed),
             MachineChoice::TestSmall => MachineConfig::ci_small(profile, seed),
+            MachineChoice::TestSmallTrr => MachineConfig::ci_small_trr(profile, seed),
+            MachineChoice::Ddr4Trr => MachineConfig::ddr4_trr(profile, seed),
         }
     }
 }
@@ -86,5 +107,27 @@ mod tests {
         let cfg = MachineChoice::TestSmall.config(FlipModelProfile::ci(), 7);
         assert_eq!(cfg, MachineConfig::ci_small(FlipModelProfile::ci(), 7));
         assert_eq!(cfg.name, "Test Small");
+    }
+
+    #[test]
+    fn trr_machines_enable_the_sampler_and_stay_out_of_table1() {
+        for machine in MachineChoice::trr_machines() {
+            assert!(machine.has_trr());
+            assert!(!MachineChoice::all().contains(&machine));
+            let cfg = machine.config(FlipModelProfile::ci(), 7);
+            assert!(cfg.validate().is_ok(), "{} invalid", cfg.name);
+            assert!(cfg.dram.trr.enabled, "{} must enable TRR", cfg.name);
+            assert!(cfg.dram.trr.sampler_capacity > 0);
+            assert_eq!(cfg.name, machine.name());
+        }
+        assert!(!MachineChoice::TestSmall.has_trr());
+        // Apart from the name and the TRR sampler, the TRR test machine is
+        // the CI machine — same caches, TLBs and DRAM geometry — so flips
+        // deltas against TestSmall isolate the mitigation itself.
+        let trr = MachineChoice::TestSmallTrr.config(FlipModelProfile::ci(), 7);
+        let mut base = MachineConfig::ci_small(FlipModelProfile::ci(), 7);
+        base.name = trr.name.clone();
+        base.dram.trr = trr.dram.trr;
+        assert_eq!(trr, base);
     }
 }

@@ -133,6 +133,42 @@ impl MachineConfig {
         cfg
     }
 
+    /// The CI-scale machine with an in-DRAM Target Row Refresh mitigation:
+    /// [`ci_small`](Self::ci_small) plus a bounded TRR sampler. The sampler
+    /// threshold is set so that a tracked aggressor's neighbours are
+    /// refreshed well before the `ci` profile's minimum flip threshold (100
+    /// disturbances) accumulates, and the capacity is deliberately small —
+    /// like real DDR4 TRR implementations — so many-sided access patterns
+    /// with more simultaneous aggressors than sampler slots can still slip
+    /// past it (the TRRespass effect).
+    pub fn ci_small_trr(flip_profile: FlipModelProfile, seed: u64) -> Self {
+        use pthammer_dram::TrrConfig;
+        let mut cfg = Self::ci_small(flip_profile, seed);
+        cfg.name = "Test Small TRR".to_string();
+        cfg.dram.trr = TrrConfig::enabled(40, 6);
+        cfg
+    }
+
+    /// A DDR4-class 8 GiB machine with TRR: the T420's platform with faster
+    /// DRAM timings and an in-DRAM mitigation scaled to the paper profile's
+    /// flip thresholds (min 30 000 disturbances → refresh tracked aggressors'
+    /// neighbours every 12 000 activations; sampler capacity 4).
+    pub fn ddr4_trr(flip_profile: FlipModelProfile, seed: u64) -> Self {
+        use pthammer_dram::TrrConfig;
+        let mut cfg = Self::lenovo_t420(flip_profile, seed ^ 0x0DD4);
+        cfg.name = "DDR4 TRR".to_string();
+        // DDR4-1866-class timings at the same 2.6 GHz core clock: shorter
+        // CAS/RCD/RP than the DDR3 presets.
+        cfg.dram.timings = DramTimings {
+            cas: 90,
+            rcd: 36,
+            rp: 36,
+            refresh_window: 166_400_000,
+        };
+        cfg.dram.trr = TrrConfig::enabled(12_000, 4);
+        cfg
+    }
+
     /// Validates every component configuration.
     ///
     /// # Errors

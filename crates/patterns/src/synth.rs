@@ -1,0 +1,561 @@
+//! Deterministic, seeded synthesis of TRR-evading hammer patterns.
+//!
+//! The synthesizer searches pattern space (aggressor offsets, per-round
+//! ordering, intensity) with a small elitist evolutionary loop. Candidates
+//! are scored against the *actual* bank-level DRAM model of the target
+//! machine — [`pthammer_dram::Bank`] with the machine's
+//! [`TrrConfig`] and timings — by the disturbance they deliver **past the
+//! TRR sampler** to the detectable victim row (the row between the base
+//! pair, which the attack's detection phase scans). A deterministic
+//! round-robin stream of background rows models the eviction-set DRAM
+//! traffic that accompanies a real implicit-hammer round and keeps the
+//! sampler under the same churn pressure it sees in the full simulation.
+//!
+//! Everything is a pure function of the [`SynthesisConfig`] and the seed:
+//! same inputs, same best pattern, bit for bit — which is what lets campaign
+//! cells synthesize on the fly at any thread count and lets the
+//! content-addressed cache ([`crate::SynthesisCache`]) resume searches
+//! byte-identically.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::ser::JsonWriter;
+use serde::{Deserialize, Serialize};
+
+use pthammer_dram::{Bank, DramTimings, FlipModel, FlipModelProfile, RowBufferPolicy, TrrConfig};
+use pthammer_machine::MachineConfig;
+use pthammer_types::Cycles;
+
+use crate::pattern::{pattern_from_json, HammerPattern, MAX_OFFSET, MAX_SCHEDULE, MAX_SIDES};
+
+/// Domain-separation salt folded into every synthesis RNG seed.
+const SYNTH_SEED_SALT: u64 = 0x5452_5265_7370_6173; // "TRRespas"
+
+/// Rows in the evaluation bank; aggressors live around the middle.
+const EVAL_ROWS: u32 = 96;
+
+/// Base aggressor row inside the evaluation bank (`offset 0`). Chosen so
+/// every legal offset (±[`MAX_OFFSET`] strides = ±14 rows) stays in range.
+const EVAL_BASE_ROW: u32 = 40;
+
+/// First background row; the churn stream rotates from here upward, far from
+/// any aggressor neighbourhood.
+const EVAL_BACKGROUND_BASE_ROW: u32 = 72;
+
+/// Distinct rows the background stream rotates over, mimicking eviction-set
+/// lines whose frames are spread across the bank.
+const EVAL_BACKGROUND_ROWS: u32 = 12;
+
+/// Simulated cycles charged per evaluation DRAM access (the order of one
+/// evict-evict-touch trio of the real hammer loop).
+const EVAL_CYCLES_PER_ACCESS: u64 = 300;
+
+/// Everything a synthesis run depends on. All fields enter the cache
+/// fingerprint; two configs with equal [`canonical_string`]s
+/// (plus equal seeds) produce bit-identical results.
+///
+/// [`canonical_string`]: SynthesisConfig::canonical_string
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SynthesisConfig {
+    /// The TRR mitigation of the machine under attack.
+    pub trr: TrrConfig,
+    /// DRAM timings of the machine (drives refresh-window rollovers during
+    /// evaluation).
+    pub timings: DramTimings,
+    /// The flip profile's minimum disturbance threshold — the score a
+    /// pattern must beat for a weak victim cell to flip at all.
+    pub min_flip_threshold: u32,
+    /// Total DRAM accesses each candidate may spend during evaluation (a
+    /// fair op budget: schedules with fewer touches get more rounds).
+    pub eval_op_budget: u32,
+    /// Background (eviction-traffic stand-in) accesses interleaved per
+    /// pattern round.
+    pub background_rows_per_round: u32,
+    /// How many pair strides of sprayed virtual address space the attack
+    /// has. A pattern spanning `s` strides only arms for base pairs at
+    /// least `s` strides from the region edges, so wide sets trade delivered
+    /// disturbance against how often they fit — the score accounts for it.
+    pub spray_strides: u32,
+    /// Search generations.
+    pub generations: u32,
+    /// Population size per generation.
+    pub population: u32,
+    /// Elites carried over unchanged per generation.
+    pub elites: u32,
+}
+
+impl SynthesisConfig {
+    /// Synthesis configuration for a machine: its TRR sampler, timings and
+    /// flip thresholds, with a CI-friendly search budget.
+    pub fn for_machine(machine: &MachineConfig) -> Self {
+        Self {
+            trr: machine.dram.trr,
+            timings: machine.dram.timings,
+            min_flip_threshold: machine.dram.flip_profile.min_threshold,
+            eval_op_budget: 4_096,
+            // Conservative lower bound: no background churn is assumed, so a
+            // winning pattern must defeat the sampler entirely on its own
+            // (real eviction-set DRAM traffic only adds pressure).
+            background_rows_per_round: 0,
+            spray_strides: 8,
+            generations: 10,
+            population: 14,
+            elites: 4,
+        }
+    }
+
+    /// Validates the search knobs.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.population == 0 || self.generations == 0 {
+            return Err("population and generations must be non-zero".to_string());
+        }
+        if self.elites == 0 || self.elites > self.population {
+            return Err("elites must be in 1..=population".to_string());
+        }
+        if self.eval_op_budget < MAX_SCHEDULE as u32 {
+            return Err("eval_op_budget must cover at least one round".to_string());
+        }
+        if self.spray_strides == 0 {
+            return Err("spray_strides must be non-zero".to_string());
+        }
+        Ok(())
+    }
+
+    /// Canonical, versioned textual form of every field — the input to the
+    /// cache fingerprint. Field order is fixed; extending the struct must
+    /// extend this string (changing every fingerprint, which is the point).
+    pub fn canonical_string(&self) -> String {
+        format!(
+            "trr={},{},{}|t={},{},{},{}|minflip={}|budget={}|bg={}|strides={}|gen={}|pop={}|elite={}",
+            self.trr.enabled,
+            self.trr.activation_threshold,
+            self.trr.sampler_capacity,
+            self.timings.cas,
+            self.timings.rcd,
+            self.timings.rp,
+            self.timings.refresh_window,
+            self.min_flip_threshold,
+            self.eval_op_budget,
+            self.background_rows_per_round,
+            self.spray_strides,
+            self.generations,
+            self.population,
+            self.elites,
+        )
+    }
+}
+
+/// Deterministic score of one candidate pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PatternScore {
+    /// Peak disturbance the detectable victim row (between the base pair)
+    /// accumulated during evaluation — the quantity TRR exists to suppress.
+    pub peak_victim_disturbance: u32,
+    /// [`peak_victim_disturbance`](Self::peak_victim_disturbance) discounted
+    /// by how often the pattern's span fits a random base pair inside the
+    /// configured spray — the synthesizer's actual objective. A physically
+    /// devastating pattern that never arms is worthless.
+    pub expected_disturbance: u32,
+    /// Targeted refreshes TRR issued against the pattern during evaluation
+    /// (a pattern that never trips the sampler scores 0 here).
+    pub trr_fired: u32,
+    /// Implicit touches one round of the pattern costs.
+    pub touches_per_round: u32,
+}
+
+impl PatternScore {
+    /// Whether the delivered disturbance can flip a weakest-threshold cell.
+    pub fn beats_threshold(&self, min_flip_threshold: u32) -> bool {
+        self.peak_victim_disturbance >= min_flip_threshold
+    }
+}
+
+/// Scores `pattern` on a fresh TRR-enabled bank.
+///
+/// The evaluation replays the pattern's activation schedule (plus the
+/// deterministic background stream) through [`Bank::access`] — the same
+/// row-buffer, refresh-window and TRR-sampler code the full simulation runs
+/// — and tracks the peak disturbance of the detectable victim row.
+pub fn evaluate(pattern: &HammerPattern, config: &SynthesisConfig) -> PatternScore {
+    let mut bank = Bank::new(0, EVAL_ROWS);
+    // Invulnerable cells: evaluation measures disturbance, not flips, and
+    // skips the weak-cell derivation entirely.
+    let flip_model = FlipModel::new(FlipModelProfile::invulnerable(), 0, 8_192);
+    let rows: Vec<u32> = pattern
+        .aggressor_rows(i64::from(EVAL_BASE_ROW))
+        .into_iter()
+        .map(|r| u32::try_from(r).expect("validated offsets stay in the eval bank"))
+        .collect();
+    let victim = EVAL_BASE_ROW + 1;
+
+    let mut now = Cycles::ZERO;
+    let mut ops = 0u32;
+    let mut peak = 0u32;
+    let mut trr_fired = 0u32;
+    let mut background_cursor = 0u32;
+    let access = |bank: &mut Bank, row: u32, now: &mut Cycles| {
+        let result = bank.access(
+            row,
+            *now,
+            &config.timings,
+            RowBufferPolicy::OpenPage,
+            &flip_model,
+            &config.trr,
+        );
+        *now += Cycles::new(EVAL_CYCLES_PER_ACCESS);
+        u32::from(result.trr_fired)
+    };
+    while ops < config.eval_op_budget {
+        for &entry in &pattern.schedule {
+            trr_fired += access(&mut bank, rows[usize::from(entry)], &mut now);
+            ops += 1;
+        }
+        for _ in 0..config.background_rows_per_round {
+            let row = EVAL_BACKGROUND_BASE_ROW + (background_cursor % EVAL_BACKGROUND_ROWS);
+            background_cursor += 1;
+            trr_fired += access(&mut bank, row, &mut now);
+            ops += 1;
+        }
+        peak = peak.max(bank.disturbance_of(victim));
+    }
+
+    // Expected delivered disturbance: a pattern spanning `s` strides fits a
+    // uniformly drawn base pair with probability ~`(strides - s) / strides`.
+    let strides = config.spray_strides;
+    let fit = strides.saturating_sub(pattern.span().unsigned_abs()) as u64;
+    PatternScore {
+        peak_victim_disturbance: peak,
+        expected_disturbance: (u64::from(peak) * fit / u64::from(strides)) as u32,
+        trr_fired,
+        touches_per_round: pattern.touches_per_round() as u32,
+    }
+}
+
+/// Result of one synthesis run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SynthesisResult {
+    /// The best pattern found.
+    pub best: HammerPattern,
+    /// Its score.
+    pub score: PatternScore,
+    /// Candidate evaluations performed (distinct patterns only: elites and
+    /// re-discovered mutants are scored once and memoized).
+    pub evaluations: u32,
+    /// Generations run.
+    pub generations: u32,
+}
+
+// Hand-written canonical JSON; `synthesis_result_from_json` is the exact
+// inverse (the cache's byte-identity rests on the round trip).
+impl Serialize for SynthesisResult {
+    fn serialize(&self, w: &mut JsonWriter) {
+        w.begin_object();
+        w.key("best");
+        self.best.serialize(w);
+        w.key("score");
+        self.score.serialize(w);
+        w.key("evaluations");
+        self.evaluations.serialize(w);
+        w.key("generations");
+        self.generations.serialize(w);
+        w.end_object();
+    }
+}
+
+impl Deserialize for SynthesisResult {}
+
+/// Parses the canonical JSON form written by [`SynthesisResult`]'s
+/// `Serialize` impl.
+///
+/// # Errors
+///
+/// Describes the first missing or mistyped field.
+pub fn synthesis_result_from_json(body: &str) -> Result<SynthesisResult, String> {
+    let value =
+        serde_json::from_str(body).map_err(|e| format!("synthesis body is not JSON: {e}"))?;
+    let u32_of = |v: &serde_json::Value, name: &str| -> Result<u32, String> {
+        v.get(name)
+            .and_then(|f| f.as_u64())
+            .and_then(|f| u32::try_from(f).ok())
+            .ok_or_else(|| format!("synthesis field `{name}` is not a u32"))
+    };
+    let best = pattern_from_json(
+        value
+            .get("best")
+            .ok_or_else(|| "synthesis body is missing `best`".to_string())?,
+    )?;
+    let score = value
+        .get("score")
+        .ok_or_else(|| "synthesis body is missing `score`".to_string())?;
+    Ok(SynthesisResult {
+        best,
+        score: PatternScore {
+            peak_victim_disturbance: u32_of(score, "peak_victim_disturbance")?,
+            expected_disturbance: u32_of(score, "expected_disturbance")?,
+            trr_fired: u32_of(score, "trr_fired")?,
+            touches_per_round: u32_of(score, "touches_per_round")?,
+        },
+        evaluations: u32_of(&value, "evaluations")?,
+        generations: u32_of(&value, "generations")?,
+    })
+}
+
+/// Runs the deterministic synthesis loop.
+///
+/// Seeds the population with the double-sided baseline and uniform n-sided
+/// rotations, then evolves it: score → rank (score, then canonical name, so
+/// ties never depend on insertion order) → keep elites → refill with seeded
+/// mutations of the elites.
+///
+/// # Panics
+///
+/// Panics if `config` fails [`SynthesisConfig::validate`].
+pub fn synthesize(config: &SynthesisConfig, seed: u64) -> SynthesisResult {
+    config
+        .validate()
+        .unwrap_or_else(|e| panic!("invalid synthesis config: {e}"));
+    let mut rng = StdRng::seed_from_u64(seed ^ SYNTH_SEED_SALT);
+
+    let mut population: Vec<HammerPattern> = vec![HammerPattern::double_sided()];
+    for n in 3..=MAX_SIDES {
+        population.push(HammerPattern::uniform_n_sided(n));
+        let centered = HammerPattern::centered_n_sided(n);
+        if !population.contains(&centered) {
+            population.push(centered);
+        }
+    }
+    // The preset seeds respect the configured population size (small search
+    // budgets keep the earliest/simplest presets), and the remainder is
+    // filled with seeded mutations.
+    population.truncate(config.population as usize);
+    while population.len() < config.population as usize {
+        let parent = population[rng.gen_range(0..population.len())].clone();
+        population.push(mutate(&parent, &mut rng));
+    }
+
+    // Evaluation is a pure function of (pattern, config), so each distinct
+    // pattern is scored exactly once: carried-over elites and re-discovered
+    // mutants hit the memo instead of re-running the bank simulation.
+    let mut score_memo: std::collections::BTreeMap<String, PatternScore> =
+        std::collections::BTreeMap::new();
+    let mut evaluations = 0u32;
+    let mut scored: Vec<(HammerPattern, PatternScore)> = Vec::new();
+    for generation in 0..config.generations {
+        scored = population
+            .iter()
+            .map(|p| {
+                let score = *score_memo.entry(p.canonical_name()).or_insert_with(|| {
+                    evaluations += 1;
+                    evaluate(p, config)
+                });
+                (p.clone(), score)
+            })
+            .collect();
+        // Deterministic total order: delivered disturbance first; among
+        // peers, compact spans (which arm far more often inside a finite
+        // spray), then cheaper rounds, then fewer TRR interventions, then
+        // the canonical name — nothing positional or map-ordered.
+        scored.sort_by(|(pa, sa), (pb, sb)| {
+            sb.expected_disturbance
+                .cmp(&sa.expected_disturbance)
+                .then_with(|| pa.span().cmp(&pb.span()))
+                .then_with(|| sa.touches_per_round.cmp(&sb.touches_per_round))
+                .then_with(|| sa.trr_fired.cmp(&sb.trr_fired))
+                .then_with(|| pa.canonical_name().cmp(&pb.canonical_name()))
+        });
+        if generation + 1 == config.generations {
+            break;
+        }
+        let elites: Vec<HammerPattern> = scored
+            .iter()
+            .take(config.elites as usize)
+            .map(|(p, _)| p.clone())
+            .collect();
+        population = elites.clone();
+        while population.len() < config.population as usize {
+            let parent = &elites[rng.gen_range(0..elites.len())];
+            population.push(mutate(parent, &mut rng));
+        }
+    }
+
+    let (best, score) = scored.swap_remove(0);
+    SynthesisResult {
+        best,
+        score,
+        evaluations,
+        generations: config.generations,
+    }
+}
+
+/// One seeded mutation of `parent`; falls back to a clone when every
+/// attempted edit would violate the pattern invariants.
+fn mutate(parent: &HammerPattern, rng: &mut StdRng) -> HammerPattern {
+    for _ in 0..8 {
+        let mut p = parent.clone();
+        match rng.gen_range(0u32..5) {
+            // Add an aggressor and touch it once.
+            0 => {
+                let offset = rng.gen_range(0..=(2 * MAX_OFFSET) as u32) as i32 - MAX_OFFSET;
+                if p.offsets.contains(&offset) || p.offsets.len() >= MAX_SIDES {
+                    continue;
+                }
+                p.offsets.push(offset);
+                let index = (p.offsets.len() - 1) as u8;
+                let at = rng.gen_range(0..=p.schedule.len());
+                p.schedule.insert(at, index);
+            }
+            // Drop a non-base aggressor (and its touches).
+            1 => {
+                if p.offsets.len() <= 2 {
+                    continue;
+                }
+                let victim = rng.gen_range(2..p.offsets.len()) as u8;
+                p.offsets.remove(usize::from(victim));
+                p.schedule.retain(|&s| s != victim);
+                for s in &mut p.schedule {
+                    if *s > victim {
+                        *s -= 1;
+                    }
+                }
+            }
+            // Swap two schedule positions (reorder the phase).
+            2 => {
+                if p.schedule.len() < 2 {
+                    continue;
+                }
+                let a = rng.gen_range(0..p.schedule.len());
+                let b = rng.gen_range(0..p.schedule.len());
+                p.schedule.swap(a, b);
+            }
+            // Raise an aggressor's intensity by one touch.
+            3 => {
+                if p.schedule.len() >= MAX_SCHEDULE {
+                    continue;
+                }
+                let index = rng.gen_range(0..p.offsets.len()) as u8;
+                let at = rng.gen_range(0..=p.schedule.len());
+                p.schedule.insert(at, index);
+            }
+            // Lower an aggressor's intensity by one touch.
+            _ => {
+                if p.schedule.len() <= p.offsets.len() {
+                    continue;
+                }
+                let at = rng.gen_range(0..p.schedule.len());
+                p.schedule.remove(at);
+            }
+        }
+        if p.validate().is_ok() {
+            return p;
+        }
+    }
+    parent.clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trr_config() -> SynthesisConfig {
+        SynthesisConfig {
+            trr: TrrConfig::enabled(40, 4),
+            timings: DramTimings::fast_test(),
+            min_flip_threshold: 100,
+            eval_op_budget: 4_096,
+            background_rows_per_round: 2,
+            spray_strides: 8,
+            generations: 10,
+            population: 14,
+            elites: 4,
+        }
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(trr_config().validate().is_ok());
+        let mut bad = trr_config();
+        bad.elites = 0;
+        assert!(bad.validate().is_err());
+        let mut bad = trr_config();
+        bad.elites = bad.population + 1;
+        assert!(bad.validate().is_err());
+        let mut bad = trr_config();
+        bad.eval_op_budget = 1;
+        assert!(bad.validate().is_err());
+        assert!(trr_config().canonical_string().contains("trr=true,40,4"));
+    }
+
+    #[test]
+    fn trr_suppresses_the_double_sided_baseline_in_evaluation() {
+        let config = trr_config();
+        let score = evaluate(&HammerPattern::double_sided(), &config);
+        assert!(
+            !score.beats_threshold(config.min_flip_threshold),
+            "TRR must keep the double-sided victim below the flip threshold, \
+             delivered {}",
+            score.peak_victim_disturbance
+        );
+        assert!(score.trr_fired > 0, "the sampler must have intervened");
+
+        // Without TRR the same budget sails past the threshold — the
+        // evaluator models the mitigation, not a generally weak hammer.
+        let mut open = config;
+        open.trr = TrrConfig::disabled();
+        let unmitigated = evaluate(&HammerPattern::double_sided(), &open);
+        assert!(unmitigated.beats_threshold(open.min_flip_threshold));
+        assert_eq!(unmitigated.trr_fired, 0);
+    }
+
+    #[test]
+    fn synthesis_is_deterministic_and_beats_the_sampler() {
+        let config = trr_config();
+        let a = synthesize(&config, 0xDEAD);
+        let b = synthesize(&config, 0xDEAD);
+        assert_eq!(a, b, "same seed, same result, bit for bit");
+        // A different seed explores differently but may legitimately
+        // converge to the same optimum; only reproducibility is asserted.
+        let c = synthesize(&config, 0xBEEF);
+        assert_eq!(c, synthesize(&config, 0xBEEF));
+        assert!(
+            a.score.beats_threshold(config.min_flip_threshold),
+            "synthesis must find a pattern that slips past the sampler: \
+             best {} delivered {}",
+            a.best,
+            a.score.peak_victim_disturbance
+        );
+        assert!(
+            a.best.sides() > 2,
+            "the winner must be many-sided: {}",
+            a.best
+        );
+        // Distinct candidates only: at least the first generation's
+        // population, at most one evaluation per candidate ever considered.
+        assert!(a.evaluations >= config.population);
+        assert!(a.evaluations <= config.population * config.generations);
+    }
+
+    #[test]
+    fn synthesis_result_json_round_trips() {
+        let result = synthesize(&trr_config(), 7);
+        let json = serde_json::to_string(&result).unwrap();
+        let decoded = synthesis_result_from_json(&json).unwrap();
+        assert_eq!(decoded, result);
+        assert_eq!(serde_json::to_string(&decoded).unwrap(), json);
+        assert!(synthesis_result_from_json("][").is_err());
+        assert!(synthesis_result_from_json("{}").is_err());
+    }
+
+    #[test]
+    fn mutations_preserve_validity() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut p = HammerPattern::double_sided();
+        for _ in 0..500 {
+            p = mutate(&p, &mut rng);
+            assert!(p.validate().is_ok(), "{p}");
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! End-to-end contrast on the TRR-equipped test machine: the paper's stock
+//! implicit double-sided strategy is neutralized by the in-DRAM sampler,
+//! while a synthesizer-found many-sided pattern still flips — through the
+//! same implicit touch path, on the same machine, from the same seed.
+
+use pthammer::{AttackConfig, HammerMode, PtHammer};
+use pthammer_dram::FlipModelProfile;
+use pthammer_kernel::System;
+use pthammer_machine::MachineConfig;
+use pthammer_patterns::{synthesize, PatternHammer, SynthesisConfig};
+
+fn attack_config(seed: u64) -> AttackConfig {
+    AttackConfig {
+        // Eight pair strides of sprayed VA, so many-sided patterns have room
+        // for aggressor sets larger than the TRR sampler.
+        spray_bytes: 1 << 30,
+        hammer_rounds_per_attempt: 1_200,
+        max_attempts: 4,
+        llc_profile_trials: 6,
+        ..AttackConfig::quick_test(seed, false)
+    }
+}
+
+#[test]
+fn trr_stops_double_sided_but_not_the_synthesized_pattern() {
+    let seed = 0x7472_7201; // "trr"
+    let machine = MachineConfig::ci_small_trr(FlipModelProfile::ci(), seed);
+    assert!(machine.dram.trr.enabled);
+
+    // Stock implicit double-sided: the TRR sampler tracks both aggressors
+    // and refreshes the victim's neighbours before any threshold is crossed.
+    let mut sys = System::undefended(machine.clone());
+    let pid = sys.spawn_process(1000).unwrap();
+    let attack = PtHammer::new(attack_config(seed)).unwrap();
+    let stock = attack.run(&mut sys, pid).unwrap();
+    assert_eq!(stock.hammer_mode, HammerMode::ImplicitDoubleSided);
+    assert!(
+        stock.implicit_dram_rate > 0.5,
+        "the hammer itself works — TRR, not the touch path, stops it: {stock:?}"
+    );
+    assert_eq!(
+        stock.flips_observed, 0,
+        "TRR must neutralize stock double-sided hammering: {stock:?}"
+    );
+
+    // Synthesized many-sided pattern on the identical machine and seed.
+    let synth = synthesize(&SynthesisConfig::for_machine(&machine), seed);
+    eprintln!(
+        "synthesized {} (peak {} / trr_fired {} over {} evaluations)",
+        synth.best, synth.score.peak_victim_disturbance, synth.score.trr_fired, synth.evaluations
+    );
+    assert!(synth.best.sides() > machine.dram.trr.sampler_capacity);
+    let strategy = Box::new(PatternHammer::new(synth.best.clone()).unwrap());
+    let mut sys = System::undefended(machine);
+    let pid = sys.spawn_process(1000).unwrap();
+    let outcome = attack
+        .run_observed_with_strategy(&mut sys, pid, strategy, &mut [])
+        .unwrap();
+    eprintln!(
+        "pattern outcome: attempts {} flips {} dram rate {:.3}",
+        outcome.attempts, outcome.flips_observed, outcome.implicit_dram_rate
+    );
+    assert!(
+        outcome.flips_observed >= 1,
+        "the synthesized pattern must slip past the sampler: {outcome:?}"
+    );
+}

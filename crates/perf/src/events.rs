@@ -75,6 +75,7 @@ mod tests {
                     max_round_cycles: 800,
                     low_dram_hits: 99,
                     high_dram_hits: 98,
+                    aggressor_dram_hits: 0,
                 },
                 implicit_touches_per_round: 2,
             });

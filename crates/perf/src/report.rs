@@ -48,6 +48,12 @@ impl PerfReport {
         }
     }
 
+    /// The workload names in report order (what `perf_report --list`
+    /// enumerates).
+    pub fn workload_names(&self) -> Vec<String> {
+        self.workloads.iter().map(|w| w.name.clone()).collect()
+    }
+
     /// Renders the report as canonical pretty JSON (stable field order,
     /// alphabetically sorted counters, `\n` line endings, trailing newline).
     pub fn to_canonical_json(&self) -> String {

@@ -13,5 +13,6 @@ pub use pthammer_harness as harness;
 pub use pthammer_kernel as kernel;
 pub use pthammer_machine as machine;
 pub use pthammer_mmu as mmu;
+pub use pthammer_patterns as patterns;
 pub use pthammer_store as store;
 pub use pthammer_types as types;

@@ -30,6 +30,7 @@ fn golden_cell_coord() -> CellCoord {
         defense: DefenseChoice::None,
         profile: ProfileChoice::Ci,
         hammer_mode: HammerMode::ImplicitDoubleSided,
+        pattern: None,
         repetition: 0,
     }
 }
