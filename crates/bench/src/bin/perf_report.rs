@@ -163,6 +163,7 @@ fn table1_cell_workload() -> WorkloadPerf {
         profile: ProfileChoice::Fast,
         hammer_mode: HammerMode::default(),
         pattern: None,
+        victim: None,
         repetition: 0,
     };
     let config = CampaignConfig::ci(GOLDEN_BASE_SEED);

@@ -51,6 +51,7 @@ fn run(
             profile: ProfileChoice::Ci,
             hammer_mode: HammerMode::default(),
             pattern,
+            victim: None,
             repetition: rep,
         },
         config,

@@ -5,7 +5,7 @@ use pthammer::{
     hammer::{ExplicitHammer, ExplicitHammerConfig, ExplicitMode},
     pairs::{candidate_pairs, conflict_threshold, verify_same_bank},
     spray::spray_page_tables,
-    AttackConfig, AttackOutcome, HammerMode, ImplicitHammer, PtHammer,
+    AttackConfig, AttackOutcome, HammerMode, ImplicitHammer, PtHammer, RunOptions,
 };
 use pthammer_defenses::{AnvilDetector, AnvilMode};
 use pthammer_dram::{FlipModelProfile, TrrConfig};
@@ -497,7 +497,9 @@ pub fn table2_run_mode(
     let mut config = scale.attack_config(seed, superpages);
     config.hammer_mode = mode;
     let attack = PtHammer::new(config).expect("config");
-    let outcome = attack.run(&mut sys, pid).expect("attack run");
+    let outcome = attack
+        .run_with(&mut sys, pid, RunOptions::new())
+        .expect("attack run");
     table2_row_from_outcome(&outcome, clock_hz)
 }
 
@@ -718,6 +720,7 @@ pub fn defense_eval(
         profile: scale.profile_choice(),
         hammer_mode: HammerMode::default(),
         pattern: None,
+        victim: None,
         repetition: 0,
     };
     let cell = run_cell(&coord, &config);
@@ -937,7 +940,7 @@ mod tests {
             defense: pthammer_kernel::DefenseKind::Undefended,
             hammer_mode: HammerMode::ImplicitDoubleSided,
             escalated: true,
-            route: None,
+            victim_outcome: None,
             attempts: 1,
             hammer_iterations: 1_000,
             hammer_cycles_total: 500_000_000,

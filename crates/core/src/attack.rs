@@ -1,22 +1,100 @@
 //! End-to-end PThammer orchestration.
 //!
-//! [`PtHammer::run`] executes the complete attack of the paper against a
-//! booted [`System`] by driving the staged pipeline of [`crate::pipeline`]:
-//! `Prepare → PairSelect → Hammer → Detect → Exploit`, with the hammer
-//! strategy selected by [`AttackConfig::hammer_mode`]. The returned
+//! [`PtHammer::run_with`] executes the complete attack of the paper against
+//! a booted [`System`] by driving the staged pipeline of [`crate::pipeline`]:
+//! `Prepare → PairSelect → Hammer → Detect → Exploit`. [`RunOptions`] is the
+//! single configuration surface for everything that can be injected into a
+//! run — event sinks, an explicit [`HammerStrategy`] and the [`Victim`]
+//! the `Exploit` phase dispatches through; defaults come from
+//! [`AttackConfig::hammer_mode`] and the paper's [`PteTakeover`] victim.
+//! The returned
 //! [`AttackOutcome`] carries the per-stage timings that Table II reports —
-//! derived from the pipeline's event stream. [`PtHammer::run_observed`]
-//! additionally attaches external [`EventSink`] subscribers to that stream.
+//! derived from the pipeline's event stream.
+//!
+//! The historical three-way entry-point sprawl (`run` / `run_observed` /
+//! `run_observed_with_strategy`) is kept as thin deprecated wrappers over
+//! `run_with`.
 
 use pthammer_kernel::{Pid, System};
 
 use crate::config::AttackConfig;
 use crate::error::AttackError;
 use crate::events::EventSink;
+use crate::hammer::strategy::HammerStrategy;
 use crate::pipeline::{self, AttackPipeline};
 use crate::report::AttackOutcome;
+use crate::victim::{PteTakeover, Victim};
 
 pub use crate::pipeline::PreparedAttack;
+
+/// Builder of everything injectable into one attack run: event sinks, the
+/// hammer strategy and the victim.
+///
+/// An empty `RunOptions::new()` reproduces the historical default run
+/// byte-for-byte: the strategy named by [`AttackConfig::hammer_mode`], the
+/// [`PteTakeover`] victim and no subscribers.
+///
+/// # Examples
+///
+/// ```no_run
+/// # use pthammer::{AttackConfig, PtHammer, RunOptions};
+/// # use pthammer::victim::VictimChoice;
+/// # fn run(sys: &mut pthammer_kernel::System, pid: pthammer_kernel::Pid)
+/// # -> Result<(), pthammer::AttackError> {
+/// let attack = PtHammer::new(AttackConfig::quick_test(42, false))?;
+/// let outcome = attack.run_with(
+///     sys,
+///     pid,
+///     RunOptions::new().victim(VictimChoice::CredCorruption.build()),
+/// )?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Default)]
+pub struct RunOptions<'s> {
+    strategy: Option<Box<dyn HammerStrategy>>,
+    victim: Option<Box<dyn Victim>>,
+    sinks: Vec<&'s mut dyn EventSink>,
+}
+
+impl<'s> RunOptions<'s> {
+    /// The default run: config-derived strategy, [`PteTakeover`] victim, no
+    /// subscribers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Injects an explicit hammer strategy instead of the one
+    /// `config.hammer_mode` names — the entry point pattern-synthesis
+    /// strategies (crate `pthammer-patterns`) execute through.
+    pub fn strategy(mut self, strategy: Box<dyn HammerStrategy>) -> Self {
+        self.strategy = Some(strategy);
+        self
+    }
+
+    /// Injects the victim the `Exploit` phase dispatches through.
+    pub fn victim(mut self, victim: Box<dyn Victim>) -> Self {
+        self.victim = Some(victim);
+        self
+    }
+
+    /// Attaches an external event subscriber. Sinks only observe — a run
+    /// with subscribers is byte-identical to one without.
+    pub fn observed_by(mut self, sink: &'s mut dyn EventSink) -> Self {
+        self.sinks.push(sink);
+        self
+    }
+}
+
+impl std::fmt::Debug for RunOptions<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunOptions")
+            .field("strategy", &self.strategy)
+            .field("victim", &self.victim)
+            .field("sinks", &self.sinks.len())
+            .finish()
+    }
+}
 
 /// The PThammer attack, parameterised by an [`AttackConfig`].
 #[derive(Debug, Clone)]
@@ -57,33 +135,60 @@ impl PtHammer {
         pipeline::prepare_attack(sys, pid, &self.config)
     }
 
-    /// Runs the full attack.
+    /// Runs the full attack with everything [`RunOptions`] injects: event
+    /// sinks, an explicit hammer strategy and the victim the `Exploit`
+    /// phase dispatches through.
+    ///
+    /// This is the single entry point; `RunOptions::new()` reproduces the
+    /// historical default run byte-for-byte.
+    pub fn run_with(
+        &self,
+        sys: &mut System,
+        pid: Pid,
+        options: RunOptions<'_>,
+    ) -> Result<AttackOutcome, AttackError> {
+        let strategy = options
+            .strategy
+            .unwrap_or_else(|| self.config.hammer_mode.strategy());
+        let victim = options.victim.unwrap_or_else(|| Box::new(PteTakeover));
+        let mut pipeline = AttackPipeline::with_parts(&self.config, strategy, victim);
+        for sink in options.sinks {
+            pipeline.subscribe(sink);
+        }
+        pipeline.run(sys, pid)
+    }
+
+    /// Runs the full attack with the default options.
+    #[deprecated(since = "0.1.0", note = "use `run_with(sys, pid, RunOptions::new())`")]
     pub fn run(&self, sys: &mut System, pid: Pid) -> Result<AttackOutcome, AttackError> {
-        AttackPipeline::new(&self.config).run(sys, pid)
+        self.run_with(sys, pid, RunOptions::new())
     }
 
     /// Runs the full attack with external event subscribers attached to the
-    /// pipeline's bus. Sinks only observe — a run with subscribers is
-    /// byte-identical to [`PtHammer::run`].
+    /// pipeline's bus.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `run_with(sys, pid, RunOptions::new().observed_by(sink))`"
+    )]
     pub fn run_observed(
         &self,
         sys: &mut System,
         pid: Pid,
         sinks: &mut [&mut dyn EventSink],
     ) -> Result<AttackOutcome, AttackError> {
-        let mut pipeline = AttackPipeline::new(&self.config);
+        let mut options = RunOptions::new();
         for sink in sinks {
-            pipeline.subscribe(*sink);
+            options = options.observed_by(&mut **sink);
         }
-        pipeline.run(sys, pid)
+        self.run_with(sys, pid, options)
     }
 
-    /// Like [`PtHammer::run_observed`], but drives an explicitly injected
-    /// [`HammerStrategy`](crate::HammerStrategy) instead of the one
-    /// `config.hammer_mode` names — the entry point pattern-synthesis
-    /// strategies (crate `pthammer-patterns`) execute through. The injected
-    /// strategy runs on the identical phase pipeline and emits the identical
-    /// event stream as the built-in modes.
+    /// Like `run_observed`, but drives an explicitly injected
+    /// [`HammerStrategy`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `run_with(sys, pid, RunOptions::new().strategy(strategy))`"
+    )]
     pub fn run_observed_with_strategy(
         &self,
         sys: &mut System,
@@ -91,11 +196,11 @@ impl PtHammer {
         strategy: Box<dyn crate::HammerStrategy>,
         sinks: &mut [&mut dyn EventSink],
     ) -> Result<AttackOutcome, AttackError> {
-        let mut pipeline = AttackPipeline::with_strategy(&self.config, strategy);
+        let mut options = RunOptions::new().strategy(strategy);
         for sink in sinks {
-            pipeline.subscribe(*sink);
+            options = options.observed_by(&mut **sink);
         }
-        pipeline.run(sys, pid)
+        self.run_with(sys, pid, options)
     }
 }
 
@@ -124,6 +229,43 @@ mod tests {
             ..CacheHierarchyConfig::test_small(seed)
         };
         cfg
+    }
+
+    /// Compat guarantee for the deprecated entry points: they must keep
+    /// compiling (this test is the `#[allow(deprecated)]`-scoped witness
+    /// under `clippy -D warnings`) and behave exactly like `run_with`.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_match_run_with() {
+        let config = AttackConfig {
+            spray_bytes: 640 << 20,
+            hammer_rounds_per_attempt: 800,
+            max_attempts: 2,
+            llc_profile_trials: 6,
+            ..AttackConfig::quick_test(11, false)
+        };
+        let attack = PtHammer::new(config.clone()).unwrap();
+
+        let mut sys = System::undefended(vulnerable_test_machine(11));
+        let pid = sys.spawn_process(1000).unwrap();
+        let via_builder = attack.run_with(&mut sys, pid, RunOptions::new()).unwrap();
+
+        let mut sys = System::undefended(vulnerable_test_machine(11));
+        let pid = sys.spawn_process(1000).unwrap();
+        let via_run = attack.run(&mut sys, pid).unwrap();
+        assert_eq!(via_builder, via_run);
+
+        let mut sys = System::undefended(vulnerable_test_machine(11));
+        let pid = sys.spawn_process(1000).unwrap();
+        let via_observed = attack.run_observed(&mut sys, pid, &mut []).unwrap();
+        assert_eq!(via_builder, via_observed);
+
+        let mut sys = System::undefended(vulnerable_test_machine(11));
+        let pid = sys.spawn_process(1000).unwrap();
+        let via_strategy = attack
+            .run_observed_with_strategy(&mut sys, pid, config.hammer_mode.strategy(), &mut [])
+            .unwrap();
+        assert_eq!(via_builder, via_strategy);
     }
 
     #[test]
@@ -155,7 +297,7 @@ mod tests {
             ..AttackConfig::quick_test(7, false)
         };
         let attack = PtHammer::new(config).unwrap();
-        let outcome = attack.run(&mut sys, pid).unwrap();
+        let outcome = attack.run_with(&mut sys, pid, RunOptions::new()).unwrap();
 
         assert_eq!(outcome.uid_before, 1000);
         assert_eq!(outcome.defense, DefenseKind::Undefended);
@@ -215,13 +357,13 @@ mod tests {
 
         let mut sys = System::undefended(vulnerable_test_machine(11));
         let pid = sys.spawn_process(1000).unwrap();
-        let plain = attack.run(&mut sys, pid).unwrap();
+        let plain = attack.run_with(&mut sys, pid, RunOptions::new()).unwrap();
 
         let mut sys = System::undefended(vulnerable_test_machine(11));
         let pid = sys.spawn_process(1000).unwrap();
         let mut protocol = Protocol::default();
         let observed = attack
-            .run_observed(&mut sys, pid, &mut [&mut protocol])
+            .run_with(&mut sys, pid, RunOptions::new().observed_by(&mut protocol))
             .unwrap();
 
         // Subscribers only observe: the outcome is identical either way.

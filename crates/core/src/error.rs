@@ -20,6 +20,15 @@ pub enum AttackError {
         /// Total bit flips observed (none of them exploitable).
         flips_observed: usize,
     },
+    /// The page-table spray could not produce the layout the attack needs —
+    /// distinct from [`AttackError::ExploitFailed`] so victims can match on
+    /// spray exhaustion separately from exploitation failing on a real flip.
+    SprayExhausted {
+        /// Backing frames expected for the spray's user page.
+        expected_frames: usize,
+        /// Backing frames actually found.
+        found_frames: usize,
+    },
     /// A flip was found but exploitation failed.
     ExploitFailed(String),
     /// Invalid attack configuration.
@@ -40,6 +49,13 @@ impl fmt::Display for AttackError {
             } => write!(
                 f,
                 "no exploitable bit flip after {attempts} attempts ({flips_observed} flips observed)"
+            ),
+            AttackError::SprayExhausted {
+                expected_frames,
+                found_frames,
+            } => write!(
+                f,
+                "page-table spray exhausted: expected {expected_frames} backing frame(s) for the user page, found {found_frames}"
             ),
             AttackError::ExploitFailed(msg) => write!(f, "exploitation failed: {msg}"),
             AttackError::InvalidConfig(msg) => write!(f, "invalid attack configuration: {msg}"),
@@ -74,6 +90,17 @@ mod tests {
         assert!(AttackError::ExploitFailed("x".into())
             .to_string()
             .contains('x'));
+        let spray = AttackError::SprayExhausted {
+            expected_frames: 1,
+            found_frames: 3,
+        };
+        assert!(spray.to_string().contains("spray exhausted"));
+        assert!(spray.to_string().contains('3'));
+        assert_ne!(
+            std::mem::discriminant(&spray),
+            std::mem::discriminant(&AttackError::ExploitFailed(String::new())),
+            "spray exhaustion must be matchable apart from exploit failure"
+        );
         assert!(AttackError::EvictionSetUnavailable("y".into())
             .to_string()
             .contains('y'));

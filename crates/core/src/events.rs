@@ -15,10 +15,10 @@
 //! byte-identical to a run with many.
 
 use crate::detect::FlipFinding;
-use crate::exploit::EscalationRoute;
 use crate::hammer::implicit::HammerStats;
 use crate::pairs::{HammerPair, PairVerification};
 use crate::report::StageTimings;
+use crate::victim::VictimOutcome;
 
 /// The five stages of the attack pipeline, in execution order.
 ///
@@ -133,11 +133,20 @@ pub enum AttackEvent {
         /// Simulated cycles when the scan completed.
         at_cycles: u64,
     },
-    /// Privilege escalation succeeded.
-    Escalated {
-        /// How escalation was achieved.
-        route: EscalationRoute,
-        /// Simulated cycles at escalation.
+    /// The victim's `profile` stage completed (inside the `Prepare` phase).
+    VictimProfiled {
+        /// Canonical name of the profiled victim.
+        victim: &'static str,
+        /// Number of weak cells the flip profile templated.
+        targets: usize,
+        /// Simulated cycles when profiling completed.
+        at_cycles: u64,
+    },
+    /// The victim's `attack` stage ran against one usable finding.
+    VictimAttacked {
+        /// The typed result of the attack (success or failure).
+        outcome: VictimOutcome,
+        /// Simulated cycles when the attack completed.
         at_cycles: u64,
     },
 }
@@ -215,6 +224,10 @@ pub struct PipelineAccounting {
     pub dram_hits: u64,
     /// Implicit target touches performed.
     pub dram_rounds: u64,
+    /// Victim `attack` invocations (successful or not).
+    pub victim_attacks: u64,
+    /// The successful victim outcome, once the `Exploit` phase produced one.
+    pub victim_outcome: Option<VictimOutcome>,
     tlb_pool_prep_cycles: u64,
     llc_pool_prep_cycles: u64,
     tlb_selection_cycles_total: u64,
@@ -237,6 +250,8 @@ impl PipelineAccounting {
             exploitable_flips: 0,
             dram_hits: 0,
             dram_rounds: 0,
+            victim_attacks: 0,
+            victim_outcome: None,
             tlb_pool_prep_cycles: 0,
             llc_pool_prep_cycles: 0,
             tlb_selection_cycles_total: 0,
@@ -314,12 +329,17 @@ impl EventSink for PipelineAccounting {
             AttackEvent::ChecksCompleted { check_cycles, .. } => {
                 self.check_cycles_total += check_cycles;
             }
-            AttackEvent::Escalated { at_cycles, .. } => {
-                self.time_to_escalation_cycles = Some(at_cycles - self.attack_start);
+            AttackEvent::VictimAttacked { outcome, at_cycles } => {
+                self.victim_attacks += 1;
+                if outcome.success && self.victim_outcome.is_none() {
+                    self.victim_outcome = Some(*outcome);
+                    self.time_to_escalation_cycles = Some(at_cycles - self.attack_start);
+                }
             }
             AttackEvent::PhaseEntered { .. }
             | AttackEvent::PhaseExited { .. }
-            | AttackEvent::PairVerified { .. } => {}
+            | AttackEvent::PairVerified { .. }
+            | AttackEvent::VictimProfiled { .. } => {}
         }
     }
 }
@@ -420,12 +440,22 @@ mod tests {
             finding: finding(true),
             at_cycles: 700,
         });
-        acc.on_event(&AttackEvent::Escalated {
-            route: EscalationRoute::CredCorruption { escalated_pid: 3 },
+        acc.on_event(&AttackEvent::VictimAttacked {
+            outcome: VictimOutcome::failure("cred-corruption", "CredCorruption"),
+            at_cycles: 850,
+        });
+        acc.on_event(&AttackEvent::VictimAttacked {
+            outcome: VictimOutcome::escalation("cred-corruption", "CredCorruption", 3),
             at_cycles: 900,
         });
 
         assert_eq!(acc.attempts, 2);
+        assert_eq!(acc.victim_attacks, 2);
+        assert_eq!(
+            acc.victim_outcome.and_then(|o| o.escalated_pid()),
+            Some(3),
+            "only the successful attack is recorded"
+        );
         assert_eq!(acc.hammer_iterations, 20);
         assert_eq!(acc.flips_observed, 2);
         assert_eq!(acc.exploitable_flips, 1);

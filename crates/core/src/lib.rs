@@ -26,17 +26,23 @@
 //!   verification.
 //! * [`hammer`] — the implicit-hammer primitive, explicit baselines, and the
 //!   pluggable [`HammerStrategy`] layer selected by [`HammerMode`].
-//! * [`detect`] / [`exploit`] — finding corrupted mappings and escalating.
+//! * [`detect`] / [`exploit`] — finding corrupted mappings and the
+//!   exploitation primitives behind the victims.
+//! * [`victim`] — the victim & exploitation layer: the [`Victim`] trait's
+//!   `profile → evaluate → attack` lifecycle and the shipped victims
+//!   ([`victim::PteTakeover`], [`victim::CredCorruption`],
+//!   [`victim::KeyRecovery`]), selectable by [`VictimChoice`].
 //! * [`pipeline`] — the staged `Prepare → PairSelect → Hammer → Detect →
 //!   Exploit` pipeline over a shared [`pipeline::AttackCtx`].
 //! * [`events`] — the typed event bus the pipeline narrates itself on; all
 //!   timing accounting is an event subscriber.
-//! * [`attack`] — the [`PtHammer`] entry points driving the pipeline.
+//! * [`attack`] — the [`PtHammer::run_with`] entry point (with its
+//!   [`RunOptions`] builder) driving the pipeline.
 //!
 //! ## Example
 //!
 //! ```no_run
-//! use pthammer::{AttackConfig, PtHammer};
+//! use pthammer::{AttackConfig, PtHammer, RunOptions};
 //! use pthammer_dram::FlipModelProfile;
 //! use pthammer_kernel::System;
 //! use pthammer_machine::MachineConfig;
@@ -47,7 +53,7 @@
 //! let pid = system.spawn_process(1000).map_err(pthammer::AttackError::from)?;
 //!
 //! let attack = PtHammer::new(AttackConfig::quick_test(42, false))?;
-//! let outcome = attack.run(&mut system, pid)?;
+//! let outcome = attack.run_with(&mut system, pid, RunOptions::new())?;
 //! println!(
 //!     "escalated: {} after {} attempts ({} flips observed)",
 //!     outcome.escalated, outcome.attempts, outcome.flips_observed
@@ -71,8 +77,9 @@ pub mod pairs;
 pub mod pipeline;
 pub mod report;
 pub mod spray;
+pub mod victim;
 
-pub use attack::{PreparedAttack, PtHammer};
+pub use attack::{PreparedAttack, PtHammer, RunOptions};
 pub use config::AttackConfig;
 pub use detect::{CapturedPageKind, FlipFinding};
 pub use error::AttackError;
@@ -81,7 +88,6 @@ pub use eviction::{
     LlcCalibration, LlcEvictionPool, SelectedEvictionSet, TlbCalibration, TlbEvictionPool,
     TlbEvictionSet, TlbMapping,
 };
-pub use exploit::EscalationRoute;
 pub use hammer::{
     ExplicitHammer, ExplicitHammerConfig, ExplicitMode, HammerMode, HammerStats, HammerStrategy,
     ImplicitHammer, RoundOp, Target,
@@ -90,3 +96,4 @@ pub use pairs::{HammerPair, PairVerification};
 pub use pipeline::{AttackCtx, AttackPipeline};
 pub use report::{AttackOutcome, PageSetting, StageTimings};
 pub use spray::{SprayRegion, SPRAY_PATTERN};
+pub use victim::{FlipProfile, FlipTarget, Victim, VictimChoice, VictimOutcome, VictimVerdict};

@@ -25,12 +25,12 @@ use crate::error::AttackError;
 use crate::events::{AttackEvent, AttackPhase, EventBus, EventSink, PipelineAccounting};
 use crate::eviction::llc::LlcEvictionPool;
 use crate::eviction::tlb::TlbEvictionPool;
-use crate::exploit::{attempt_escalation, EscalationRoute};
 use crate::hammer::implicit::HammerStats;
 use crate::hammer::strategy::{ArmedPair, HammerStrategy, RoundOp};
 use crate::pairs::{candidate_pairs, conflict_threshold};
 use crate::report::{AttackOutcome, PageSetting};
 use crate::spray::spray_page_tables;
+use crate::victim::{ExploitCtx, FlipProfile, PteTakeover, Victim, VictimOutcome};
 
 /// The prepared one-off state (pools + spray), exposed so that the benchmark
 /// harness can time and reuse the stages individually.
@@ -98,8 +98,13 @@ pub struct AttackCtx {
     pub accounting: PipelineAccounting,
     /// Per-iteration cycle samples (the Figure 6 measurement).
     pub hammer_cycle_samples: Vec<u64>,
-    /// Escalation route, once the `Exploit` phase succeeds.
-    pub route: Option<EscalationRoute>,
+    /// The victim the `Exploit` phase dispatches through (`profile →
+    /// evaluate → attack`); [`PteTakeover`] unless one was injected.
+    pub victim: Box<dyn Victim>,
+    /// The victim's flip profile; set by the `Prepare` phase.
+    pub flip_profile: Option<FlipProfile>,
+    /// The successful victim outcome, once the `Exploit` phase produced one.
+    pub victory: Option<VictimOutcome>,
     /// Effective uid of the escalated process (== `uid_before` until then).
     pub escalated_uid: u32,
 }
@@ -117,6 +122,7 @@ enum Flow {
 pub struct AttackPipeline<'a, 'b> {
     config: &'a AttackConfig,
     strategy: Box<dyn HammerStrategy>,
+    victim: Box<dyn Victim>,
     bus: EventBus<'b>,
 }
 
@@ -124,6 +130,7 @@ impl std::fmt::Debug for AttackPipeline<'_, '_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("AttackPipeline")
             .field("strategy", &self.strategy)
+            .field("victim", &self.victim)
             .field("bus", &self.bus)
             .finish_non_exhaustive()
     }
@@ -131,7 +138,7 @@ impl std::fmt::Debug for AttackPipeline<'_, '_> {
 
 impl<'a, 'b> AttackPipeline<'a, 'b> {
     /// Creates the pipeline for `config`, instantiating the strategy from
-    /// `config.hammer_mode`.
+    /// `config.hammer_mode` and the default [`PteTakeover`] victim.
     pub fn new(config: &'a AttackConfig) -> Self {
         Self::with_strategy(config, config.hammer_mode.strategy())
     }
@@ -142,9 +149,21 @@ impl<'a, 'b> AttackPipeline<'a, 'b> {
     /// many-sided patterns) execute on the same phase pipeline, touch path
     /// and event bus as the built-in modes.
     pub fn with_strategy(config: &'a AttackConfig, strategy: Box<dyn HammerStrategy>) -> Self {
+        Self::with_parts(config, strategy, Box::new(PteTakeover))
+    }
+
+    /// Creates the pipeline with both the strategy and the victim injected —
+    /// the hook through which the `Exploit` phase is re-targeted at a
+    /// different [`Victim`] (the campaign's `victims` axis).
+    pub fn with_parts(
+        config: &'a AttackConfig,
+        strategy: Box<dyn HammerStrategy>,
+        victim: Box<dyn Victim>,
+    ) -> Self {
         Self {
             config,
             strategy,
+            victim,
             bus: EventBus::new(),
         }
     }
@@ -199,7 +218,9 @@ impl<'a, 'b> AttackPipeline<'a, 'b> {
             prepared: None,
             accounting: PipelineAccounting::new(attack_start),
             hammer_cycle_samples: Vec::new(),
-            route: None,
+            victim: std::mem::replace(&mut self.victim, Box::new(PteTakeover)),
+            flip_profile: None,
+            victory: None,
             escalated_uid: uid_before,
         };
 
@@ -213,8 +234,8 @@ impl<'a, 'b> AttackPipeline<'a, 'b> {
             page_setting,
             defense,
             hammer_mode: self.strategy.mode(),
-            escalated: ctx.route.is_some(),
-            route: ctx.route,
+            escalated: ctx.victory.is_some_and(|v| v.escalated_pid().is_some()),
+            victim_outcome: ctx.victory,
             attempts: ctx.accounting.attempts,
             hammer_iterations: ctx.accounting.hammer_iterations,
             hammer_cycles_total: ctx.accounting.hammer_cycles_total,
@@ -229,7 +250,7 @@ impl<'a, 'b> AttackPipeline<'a, 'b> {
     }
 
     /// `Prepare`: builds the TLB/LLC eviction pools and the page-table
-    /// spray, once.
+    /// spray, once, then runs the victim's `profile` stage.
     fn phase_prepare(&mut self, ctx: &mut AttackCtx, sys: &mut System) -> Result<(), AttackError> {
         self.enter(ctx, sys, AttackPhase::Prepare);
         let prepared = prepare_attack(sys, ctx.pid, self.config)?;
@@ -242,6 +263,19 @@ impl<'a, 'b> AttackPipeline<'a, 'b> {
             },
         );
         ctx.prepared = Some(prepared);
+        // Victim profiling takes `&System`: it cannot perform simulated
+        // memory operations, so the phases downstream stay byte-identical
+        // regardless of which victim is attached.
+        let profile = ctx.victim.profile(sys, ctx.pid)?;
+        self.emit(
+            ctx,
+            AttackEvent::VictimProfiled {
+                victim: ctx.victim.name(),
+                targets: profile.targets.len(),
+                at_cycles: sys.rdtsc(),
+            },
+        );
+        ctx.flip_profile = Some(profile);
         self.exit(ctx, sys, AttackPhase::Prepare);
         Ok(())
     }
@@ -421,7 +455,9 @@ impl<'a, 'b> AttackPipeline<'a, 'b> {
         Ok(findings)
     }
 
-    /// `Exploit`: try to escalate through every exploitable finding.
+    /// `Exploit`: dispatch every finding through the victim trait object —
+    /// `evaluate` gates which findings are attacked, `attack` performs the
+    /// exploitation.
     fn phase_exploit(
         &mut self,
         ctx: &mut AttackCtx,
@@ -429,26 +465,39 @@ impl<'a, 'b> AttackPipeline<'a, 'b> {
         findings: &[crate::detect::FlipFinding],
     ) -> Result<Flow, AttackError> {
         self.enter(ctx, sys, AttackPhase::Exploit);
-        for finding in findings.iter().filter(|f| f.is_exploitable()) {
-            let prepared = ctx.prepared.as_ref().expect("prepare phase ran");
-            let escalation = attempt_escalation(
-                sys,
-                ctx.pid,
-                &prepared.tlb_pool,
-                &prepared.spray,
-                finding,
-                ctx.uid_before,
-            )?;
-            if let Some(route) = escalation {
-                self.emit(
-                    ctx,
-                    AttackEvent::Escalated {
-                        route,
-                        at_cycles: sys.rdtsc(),
-                    },
-                );
-                ctx.escalated_uid = sys.getuid(route.escalated_pid())?;
-                ctx.route = Some(route);
+        for finding in findings {
+            let usable = {
+                let profile = ctx.flip_profile.as_ref().expect("prepare phase ran");
+                ctx.victim.evaluate(profile, finding).is_usable()
+            };
+            if !usable {
+                continue;
+            }
+            let mut outcome = {
+                let prepared = ctx.prepared.as_ref().expect("prepare phase ran");
+                let exploit = ExploitCtx {
+                    tlb_pool: &prepared.tlb_pool,
+                    spray: &prepared.spray,
+                    attacker_uid: ctx.uid_before,
+                    hammer_iterations: ctx.accounting.hammer_iterations,
+                };
+                ctx.victim.attack(sys, ctx.pid, &exploit, finding)?
+            };
+            if outcome.success {
+                outcome.time_to_exploit_iterations = Some(ctx.accounting.hammer_iterations);
+            }
+            self.emit(
+                ctx,
+                AttackEvent::VictimAttacked {
+                    outcome,
+                    at_cycles: sys.rdtsc(),
+                },
+            );
+            if outcome.success {
+                if let Some(escalated_pid) = outcome.escalated_pid() {
+                    ctx.escalated_uid = sys.getuid(escalated_pid)?;
+                }
+                ctx.victory = Some(outcome);
                 self.exit(ctx, sys, AttackPhase::Exploit);
                 return Ok(Flow::Finish);
             }

@@ -8,8 +8,8 @@ use serde::{Deserialize, Serialize};
 
 use pthammer_kernel::DefenseKind;
 
-use crate::exploit::EscalationRoute;
 use crate::hammer::strategy::HammerMode;
+use crate::victim::VictimOutcome;
 
 /// The system's page-size setting during the attack (Table II's "regular" vs
 /// "superpage" columns).
@@ -113,8 +113,9 @@ pub struct AttackOutcome {
     pub hammer_mode: HammerMode,
     /// Whether kernel privilege escalation succeeded.
     pub escalated: bool,
-    /// How escalation was achieved, if it was.
-    pub route: Option<EscalationRoute>,
+    /// The successful victim outcome, if the `Exploit` phase produced one
+    /// (success may be key recovery rather than escalation).
+    pub victim_outcome: Option<VictimOutcome>,
     /// Hammer attempts (pairs hammered).
     pub attempts: usize,
     /// Double-sided hammer iterations actually performed across all attempts
@@ -175,7 +176,11 @@ mod tests {
             defense: DefenseKind::Undefended,
             hammer_mode: HammerMode::ImplicitDoubleSided,
             escalated: true,
-            route: Some(EscalationRoute::PageTableTakeover { escalated_pid: 1 }),
+            victim_outcome: Some(VictimOutcome::escalation(
+                "pte-takeover",
+                "PageTableTakeover",
+                1,
+            )),
             attempts: 3,
             hammer_iterations: 4_500,
             hammer_cycles_total: 9_000_000,

@@ -81,10 +81,10 @@ pub fn spray_page_tables(
     sys.access(pid, user_page)?;
     let frames = sys.frames_of_mapping(pid, user_page)?;
     if frames.len() != 1 {
-        return Err(AttackError::ExploitFailed(format!(
-            "expected one backing frame for the user page, found {}",
-            frames.len()
-        )));
+        return Err(AttackError::SprayExhausted {
+            expected_frames: 1,
+            found_frames: frames.len(),
+        });
     }
 
     let len = config.spray_bytes.next_multiple_of(HUGE_PAGE_SIZE);

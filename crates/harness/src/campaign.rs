@@ -1,6 +1,6 @@
 //! The campaign runner: fan cells out over worker threads, aggregate rows.
 
-use pthammer::{pairs::pair_stride, AttackConfig, EventSink, HammerMode, PtHammer};
+use pthammer::{pairs::pair_stride, AttackConfig, EventSink, HammerMode, PtHammer, RunOptions};
 use pthammer_defenses::DefenseChoice;
 use pthammer_kernel::KernelConfig;
 use pthammer_machine::MachineConfig;
@@ -229,6 +229,7 @@ pub fn run_cell_instrumented(coord: &CellCoord, config: &CampaignConfig) -> (Cel
         profile: coord.profile.name().to_string(),
         hammer_mode: coord.hammer_mode,
         pattern: coord.pattern,
+        victim: coord.victim,
         repetition: coord.repetition,
         cell_seed: seed,
         escalated: false,
@@ -239,6 +240,8 @@ pub fn run_cell_instrumented(coord: &CellCoord, config: &CampaignConfig) -> (Cel
         implicit_dram_rate: 0.0,
         seconds_to_first_flip: None,
         seconds_to_escalation: None,
+        exploit_succeeded: None,
+        time_to_exploit: None,
         route: None,
         error: None,
     };
@@ -266,27 +269,24 @@ pub fn run_cell_instrumented(coord: &CellCoord, config: &CampaignConfig) -> (Cel
         }
         let attack = PtHammer::new(config.attack_config(seed, coord.defense, coord.hammer_mode))
             .map_err(|e| e.to_string())?;
-        match coord.pattern {
-            // Pattern cells resolve their pattern deterministically from the
-            // cell seed (synthesized cells run the search) and execute it
-            // through the injected `PatternHammer` strategy — same pipeline,
-            // same event stream.
-            Some(choice) => {
-                let pattern = choice.resolve(&synthesis_cfg, seed);
-                let strategy = Box::new(PatternHammer::new(pattern).map_err(|e| e.to_string())?);
-                attack
-                    .run_observed_with_strategy(
-                        &mut sys,
-                        pid,
-                        strategy,
-                        &mut [tally as &mut dyn EventSink],
-                    )
-                    .map_err(|e| e.to_string())
-            }
-            None => attack
-                .run_observed(&mut sys, pid, &mut [tally as &mut dyn EventSink])
-                .map_err(|e| e.to_string()),
+        let mut options = RunOptions::new().observed_by(tally as &mut dyn EventSink);
+        // Pattern cells resolve their pattern deterministically from the
+        // cell seed (synthesized cells run the search) and execute it
+        // through the injected `PatternHammer` strategy — same pipeline,
+        // same event stream.
+        if let Some(choice) = coord.pattern {
+            let pattern = choice.resolve(&synthesis_cfg, seed);
+            let strategy = Box::new(PatternHammer::new(pattern).map_err(|e| e.to_string())?);
+            options = options.strategy(strategy);
         }
+        // Victim cells drive the chosen victim through the `Exploit` phase;
+        // default cells rely on `RunOptions`' PTE-takeover default.
+        if let Some(choice) = coord.victim {
+            options = options.victim(choice.build());
+        }
+        attack
+            .run_with(&mut sys, pid, options)
+            .map_err(|e| e.to_string())
     })(&mut tally);
 
     match outcome {
@@ -302,7 +302,13 @@ pub fn run_cell_instrumented(coord: &CellCoord, config: &CampaignConfig) -> (Cel
             report.implicit_dram_rate = outcome.implicit_dram_rate;
             report.seconds_to_first_flip = outcome.seconds_to_first_flip();
             report.seconds_to_escalation = outcome.seconds_to_escalation();
-            report.route = outcome.route.map(|r| format!("{r:?}"));
+            report.route = outcome.victim_outcome.map(|v| v.route_label());
+            if coord.victim.is_some() {
+                report.exploit_succeeded = Some(outcome.victim_outcome.is_some_and(|v| v.success));
+                report.time_to_exploit = outcome
+                    .victim_outcome
+                    .and_then(|v| v.time_to_exploit_iterations);
+            }
         }
         Err(err) => report.error = Some(err),
     }
@@ -418,6 +424,7 @@ mod tests {
             profile: ProfileChoice::Invulnerable,
             hammer_mode: HammerMode::default(),
             pattern: None,
+            victim: None,
             repetition: 0,
         };
         let row = run_cell(&coord, &config);

@@ -12,7 +12,7 @@
 
 use std::str::FromStr;
 
-use pthammer::HammerMode;
+use pthammer::{HammerMode, VictimChoice};
 use pthammer_kernel::DefenseKind;
 use pthammer_patterns::PatternChoice;
 
@@ -103,12 +103,43 @@ pub fn cell_report_from_json(body: &str) -> Result<CellReport, String> {
             .ok_or_else(|| "cell field `trr_refreshes` is not an unsigned integer".to_string())?,
     };
 
+    // `victim` — and, with it, the `exploit_succeeded` / `time_to_exploit`
+    // outcome keys — is emitted only for explicit-victim cells; absence
+    // decodes to the default (victim-free) row.
+    let victim = match value.get("victim") {
+        None => None,
+        Some(v) => {
+            let name = v
+                .as_str()
+                .ok_or_else(|| "cell field `victim` is not a string".to_string())?;
+            Some(VictimChoice::from_str(name)?)
+        }
+    };
+    let (exploit_succeeded, time_to_exploit) = if victim.is_some() {
+        let succeeded = match field("exploit_succeeded")? {
+            v if v.is_null() => None,
+            v => Some(v.as_bool().ok_or_else(|| {
+                "cell field `exploit_succeeded` is not a bool or null".to_string()
+            })?),
+        };
+        let time = match field("time_to_exploit")? {
+            v if v.is_null() => None,
+            v => Some(v.as_u64().ok_or_else(|| {
+                "cell field `time_to_exploit` is not an unsigned integer or null".to_string()
+            })?),
+        };
+        (succeeded, time)
+    } else {
+        (None, None)
+    };
+
     Ok(CellReport {
         machine: string("machine")?,
         defense: DefenseKind::from_str(&string("defense")?)?,
         profile: string("profile")?,
         hammer_mode,
         pattern,
+        victim,
         repetition: u32::try_from(u64_of("repetition")?)
             .map_err(|_| "cell field `repetition` overflows u32".to_string())?,
         cell_seed: u64_of("cell_seed")?,
@@ -122,6 +153,8 @@ pub fn cell_report_from_json(body: &str) -> Result<CellReport, String> {
         implicit_dram_rate: f64_of("implicit_dram_rate")?,
         seconds_to_first_flip: opt_f64("seconds_to_first_flip")?,
         seconds_to_escalation: opt_f64("seconds_to_escalation")?,
+        exploit_succeeded,
+        time_to_exploit,
         route: opt_string("route")?,
         error: opt_string("error")?,
     })
@@ -138,6 +171,7 @@ mod tests {
             profile: "ci".into(),
             hammer_mode: HammerMode::ImplicitOneLocation,
             pattern: Some(PatternChoice::Synthesized),
+            victim: Some(VictimChoice::KeyRecovery),
             repetition: 2,
             cell_seed: u64::MAX - 1,
             escalated: true,
@@ -148,6 +182,8 @@ mod tests {
             implicit_dram_rate: 0.1 + 0.2, // not exactly representable
             seconds_to_first_flip: Some(1.0e-7),
             seconds_to_escalation: None,
+            exploit_succeeded: Some(true),
+            time_to_exploit: Some(u64::MAX - 7),
             route: Some("PageTable { pte: 0x1000 }".into()),
             error: Some("line1\nline2 \"quoted\"".into()),
         }
@@ -159,7 +195,10 @@ mod tests {
             let mut r = tricky_report();
             r.hammer_mode = HammerMode::default();
             r.pattern = None;
+            r.victim = None;
             r.trr_refreshes = 0;
+            r.exploit_succeeded = None;
+            r.time_to_exploit = None;
             r.route = None;
             r.error = None;
             r
@@ -200,6 +239,31 @@ mod tests {
         let decoded = cell_report_from_json(&body).unwrap();
         assert_eq!(decoded.pattern, None);
         assert_eq!(decoded.trr_refreshes, 0);
+    }
+
+    #[test]
+    fn missing_victim_keys_decode_to_the_default_row() {
+        let mut report = tricky_report();
+        report.victim = None;
+        report.exploit_succeeded = None;
+        report.time_to_exploit = None;
+        let body = serde_json::to_string(&report).unwrap();
+        assert!(!body.contains("\"victim\""));
+        assert!(!body.contains("exploit_succeeded"));
+        assert!(!body.contains("time_to_exploit"));
+        let decoded = cell_report_from_json(&body).unwrap();
+        assert_eq!(decoded.victim, None);
+        assert_eq!(decoded.exploit_succeeded, None);
+        assert_eq!(decoded.time_to_exploit, None);
+
+        // An unsuccessful explicit-victim row round-trips its nulls.
+        let mut report = tricky_report();
+        report.exploit_succeeded = Some(false);
+        report.time_to_exploit = None;
+        let body = serde_json::to_string(&report).unwrap();
+        assert!(body.contains("\"exploit_succeeded\":false"));
+        assert!(body.contains("\"time_to_exploit\":null"));
+        assert_eq!(cell_report_from_json(&body).unwrap(), report);
     }
 
     #[test]

@@ -5,7 +5,8 @@
 //! that sweep a first-class, declarative object:
 //!
 //! * [`ScenarioMatrix`] — the cross product of [`MachineChoice`],
-//!   [`DefenseChoice`], [`ProfileChoice`] and per-cell seed repetitions.
+//!   [`DefenseChoice`], [`ProfileChoice`], optional pattern and
+//!   [`VictimChoice`] axes, and per-cell seed repetitions.
 //! * [`CampaignConfig`] — attack scale, worker count, and the campaign base
 //!   seed.
 //! * [`run_campaign`] — fans the cells out across worker threads and
@@ -55,6 +56,7 @@ mod matrix;
 mod report;
 pub mod resume;
 mod seeding;
+mod victim_cache;
 
 pub use campaign::{
     run_campaign, run_campaign_instrumented, run_cell, run_cell_instrumented, CampaignConfig,
@@ -68,8 +70,11 @@ pub use resume::{
     run_campaign_shard, store_manifest, MergeStats, ResumeStats,
 };
 pub use seeding::{cell_seed, CELL_SEED_SCHEMA_VERSION};
+pub use victim_cache::{
+    flip_profile_from_json, ProfileSource, VictimProfileCache, VICTIM_PROFILE_SCHEMA_VERSION,
+};
 
-pub use pthammer::HammerMode;
+pub use pthammer::{HammerMode, VictimChoice};
 pub use pthammer_defenses::DefenseChoice;
 pub use pthammer_kernel::DefenseKind;
 pub use pthammer_machine::MachineChoice;

@@ -1,6 +1,6 @@
 //! The declarative scenario matrix: which cells a campaign runs.
 
-use pthammer::HammerMode;
+use pthammer::{HammerMode, VictimChoice};
 use pthammer_defenses::DefenseChoice;
 use pthammer_dram::FlipModelProfile;
 use pthammer_machine::MachineChoice;
@@ -71,6 +71,11 @@ pub struct CellCoord {
     /// strategy with a `PatternHammer` executing the chosen pattern
     /// (synthesized cells search from the cell seed).
     pub pattern: Option<PatternChoice>,
+    /// Victim the cell's `Exploit` phase drives, if explicitly swept:
+    /// `Some` injects the chosen victim and makes the cell report its
+    /// exploit outcome; `None` runs the default PTE-takeover victim and
+    /// serializes exactly as before the axis existed.
+    pub victim: Option<VictimChoice>,
     /// Repetition index (varies only the seed).
     pub repetition: u32,
 }
@@ -91,15 +96,21 @@ pub struct ScenarioMatrix {
     /// entries run a synthesized/preset pattern through `PatternHammer`
     /// instead of the cell's hammer mode.
     pub patterns: Vec<Option<PatternChoice>>,
-    /// Seed repetitions per (machine, defense, profile, mode, pattern)
-    /// combination.
+    /// Victim axis (defaults to `[None]`: the default PTE-takeover victim,
+    /// serialized as before the axis existed). `Some` entries inject the
+    /// chosen victim into the `Exploit` phase and make cells report
+    /// `exploit_succeeded` / `time_to_exploit`.
+    pub victims: Vec<Option<VictimChoice>>,
+    /// Seed repetitions per (machine, defense, profile, mode, pattern,
+    /// victim) combination.
     pub repetitions: u32,
 }
 
-// Hand-written so a default-mode-only, pattern-free matrix serializes
-// exactly as it did before those axes existed: the `hammer_modes` and
-// `patterns` keys are emitted only for campaigns that actually sweep them,
-// keeping the golden snapshot byte-identical.
+// Hand-written so a default-mode-only, pattern-free, victim-free matrix
+// serializes exactly as it did before those axes existed: the
+// `hammer_modes`, `patterns` and `victims` keys are emitted only for
+// campaigns that actually sweep them, keeping the golden snapshot
+// byte-identical.
 impl Serialize for ScenarioMatrix {
     fn serialize(&self, w: &mut JsonWriter) {
         w.begin_object();
@@ -116,6 +127,10 @@ impl Serialize for ScenarioMatrix {
         if !self.is_pattern_free() {
             w.key("patterns");
             self.patterns.serialize(w);
+        }
+        if !self.is_victim_free() {
+            w.key("victims");
+            self.victims.serialize(w);
         }
         w.key("repetitions");
         self.repetitions.serialize(w);
@@ -138,6 +153,7 @@ impl ScenarioMatrix {
             profiles,
             hammer_modes: vec![HammerMode::default()],
             patterns: vec![None],
+            victims: vec![None],
             repetitions,
         }
     }
@@ -155,6 +171,14 @@ impl ScenarioMatrix {
         self
     }
 
+    /// Replaces the victim axis (builder style). `None` entries run the
+    /// default PTE-takeover victim without exploit-outcome keys; `Some`
+    /// entries inject the chosen victim and report its outcome.
+    pub fn with_victims(mut self, victims: Vec<Option<VictimChoice>>) -> Self {
+        self.victims = victims;
+        self
+    }
+
     /// True when the hammer-mode axis is exactly the paper default — the
     /// case whose serialization (and golden snapshot) predates the axis.
     pub fn is_default_mode_only(&self) -> bool {
@@ -165,6 +189,26 @@ impl ScenarioMatrix {
     /// serialization (and golden snapshot) predates the axis.
     pub fn is_pattern_free(&self) -> bool {
         self.patterns == [None]
+    }
+
+    /// True when the victim axis is exactly `[None]` — the case whose
+    /// serialization (and golden snapshot) predates the axis.
+    pub fn is_victim_free(&self) -> bool {
+        self.victims == [None]
+    }
+
+    /// The pinned victim-sweep regression matrix: the small test machine,
+    /// undefended plus CTA, the `ci` and `invulnerable` profiles, every
+    /// shipped victim — 1 × 2 × 2 × 3 × 2 = 24 cells showing per-victim
+    /// exploit outcomes on the same flips.
+    pub fn victim_sweep_ci() -> Self {
+        Self::new(
+            vec![MachineChoice::TestSmall],
+            vec![DefenseChoice::None, DefenseChoice::Cta],
+            vec![ProfileChoice::Ci, ProfileChoice::Invulnerable],
+            2,
+        )
+        .with_victims(VictimChoice::all().into_iter().map(Some).collect())
     }
 
     /// The pinned TRR-era regression matrix: the plain CI machine and its
@@ -205,6 +249,7 @@ impl ScenarioMatrix {
             * self.profiles.len()
             * self.hammer_modes.len()
             * self.patterns.len()
+            * self.victims.len()
             * self.repetitions as usize
     }
 
@@ -223,15 +268,18 @@ impl ScenarioMatrix {
                 for &profile in &self.profiles {
                     for &hammer_mode in &self.hammer_modes {
                         for &pattern in &self.patterns {
-                            for repetition in 0..self.repetitions {
-                                cells.push(CellCoord {
-                                    machine,
-                                    defense,
-                                    profile,
-                                    hammer_mode,
-                                    pattern,
-                                    repetition,
-                                });
+                            for &victim in &self.victims {
+                                for repetition in 0..self.repetitions {
+                                    cells.push(CellCoord {
+                                        machine,
+                                        defense,
+                                        profile,
+                                        hammer_mode,
+                                        pattern,
+                                        victim,
+                                        repetition,
+                                    });
+                                }
                             }
                         }
                     }
@@ -261,6 +309,9 @@ impl ScenarioMatrix {
         }
         if self.patterns.is_empty() {
             return Err("matrix has no pattern-axis entries".to_string());
+        }
+        if self.victims.is_empty() {
+            return Err("matrix has no victim-axis entries".to_string());
         }
         if self.repetitions == 0 {
             return Err("matrix has zero repetitions".to_string());
@@ -338,6 +389,43 @@ mod tests {
         assert!(m.cells().iter().all(|c| c.pattern.is_none()));
         let m = ScenarioMatrix::ci_default().with_patterns(vec![]);
         assert!(m.validate().is_err());
+    }
+
+    #[test]
+    fn victim_axis_extends_the_cross_product() {
+        let m = ScenarioMatrix::victim_sweep_ci();
+        assert_eq!(m.len(), 24, "2 defenses × 2 profiles × 3 victims × 2");
+        assert!(!m.is_victim_free());
+        assert!(m.validate().is_ok());
+        let cells = m.cells();
+        assert_eq!(cells.len(), m.len());
+        assert!(cells
+            .iter()
+            .any(|c| c.victim == Some(VictimChoice::KeyRecovery)));
+        let m = ScenarioMatrix::ci_default();
+        assert!(m.is_victim_free());
+        assert!(m.cells().iter().all(|c| c.victim.is_none()));
+        let m = ScenarioMatrix::ci_default().with_victims(vec![]);
+        assert!(m.validate().is_err());
+    }
+
+    #[test]
+    fn victim_free_matrix_serializes_without_the_axis() {
+        let mut w = JsonWriter::new(false);
+        ScenarioMatrix::ci_default().serialize(&mut w);
+        assert!(!w.into_string().contains("victims"));
+
+        let mut w = JsonWriter::new(false);
+        ScenarioMatrix::victim_sweep_ci().serialize(&mut w);
+        let json = w.into_string();
+        assert!(
+            json.contains("\"victims\":[\"pte-takeover\",\"cred-corruption\",\"key-recovery\"]"),
+            "{json}"
+        );
+        // Key order: the axis sits between patterns (when present) /
+        // profiles and repetitions.
+        assert!(json.find("profiles").unwrap() < json.find("victims").unwrap());
+        assert!(json.find("victims").unwrap() < json.find("repetitions").unwrap());
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Campaign results: per-cell rows, per-defense summaries, canonical JSON.
 
-use pthammer::HammerMode;
+use pthammer::{HammerMode, VictimChoice};
 use pthammer_kernel::DefenseKind;
 use pthammer_patterns::PatternChoice;
 use serde::ser::JsonWriter;
@@ -28,6 +28,11 @@ pub struct CellReport {
     /// Serialized only when present (pre-axis snapshots stay
     /// byte-identical).
     pub pattern: Option<PatternChoice>,
+    /// Victim the cell's `Exploit` phase drove, if explicitly swept
+    /// (coordinate). Serialized only when present (pre-axis snapshots stay
+    /// byte-identical); presence also gates the `exploit_succeeded` /
+    /// `time_to_exploit` keys below.
+    pub victim: Option<VictimChoice>,
     /// Repetition index (coordinate).
     pub repetition: u32,
     /// The seed derived from the coordinates (for reproducing this cell in
@@ -51,14 +56,23 @@ pub struct CellReport {
     pub seconds_to_first_flip: Option<f64>,
     /// Simulated seconds until escalation, if it happened.
     pub seconds_to_escalation: Option<f64>,
-    /// Escalation route (`Debug` form), if escalation succeeded.
+    /// Whether the cell's victim attack succeeded. Populated (and
+    /// serialized) only for explicit-victim cells.
+    pub exploit_succeeded: Option<bool>,
+    /// Double-sided hammer iterations performed before the victim attack
+    /// succeeded. Populated (and serialized) only for explicit-victim cells;
+    /// `null` there when the exploit never succeeded.
+    pub time_to_exploit: Option<u64>,
+    /// Escalation route (the victim outcome's route label), if the exploit
+    /// escalated or recovered key material.
     pub route: Option<String>,
     /// Error description if the attack aborted instead of completing.
     pub error: Option<String>,
 }
 
 // Hand-written: `defense` serializes as its display name; `hammer_mode` is
-// emitted only when it is not the paper default, `pattern` only when
+// emitted only when it is not the paper default, `pattern` and `victim`
+// (with its `exploit_succeeded` / `time_to_exploit` outcome keys) only when
 // present, and `trr_refreshes` only when non-zero — the golden snapshot
 // predates those axes and must stay byte-identical.
 impl Serialize for CellReport {
@@ -77,6 +91,10 @@ impl Serialize for CellReport {
         if let Some(pattern) = self.pattern {
             w.key("pattern");
             w.string(pattern.name());
+        }
+        if let Some(victim) = self.victim {
+            w.key("victim");
+            w.string(victim.name());
         }
         w.key("repetition");
         self.repetition.serialize(w);
@@ -100,6 +118,12 @@ impl Serialize for CellReport {
         self.seconds_to_first_flip.serialize(w);
         w.key("seconds_to_escalation");
         self.seconds_to_escalation.serialize(w);
+        if self.victim.is_some() {
+            w.key("exploit_succeeded");
+            self.exploit_succeeded.serialize(w);
+            w.key("time_to_exploit");
+            self.time_to_exploit.serialize(w);
+        }
         w.key("route");
         self.route.serialize(w);
         w.key("error");
@@ -126,6 +150,10 @@ pub struct DefenseSummary {
     /// Pattern source the cells ran, if any. Serialized only when present
     /// (golden-snapshot compatibility).
     pub pattern: Option<PatternChoice>,
+    /// Victim the cells drove, if explicitly swept. Serialized only when
+    /// present (golden-snapshot compatibility); presence also gates the
+    /// `exploit_successes` / `mean_time_to_exploit` keys below.
+    pub victim: Option<VictimChoice>,
     /// Number of cells aggregated (including errored ones).
     pub cells: usize,
     /// Cells that aborted with an error; excluded from every rate and mean
@@ -145,6 +173,13 @@ pub struct DefenseSummary {
     pub mean_implicit_dram_rate: f64,
     /// Mean simulated seconds to first flip over cells that flipped.
     pub mean_seconds_to_first_flip: Option<f64>,
+    /// Completed cells whose victim attack succeeded. Populated (and
+    /// serialized) only for explicit-victim rows.
+    pub exploit_successes: Option<usize>,
+    /// Mean hammer iterations to a successful exploit over cells that
+    /// succeeded. Populated (and serialized) only for explicit-victim rows;
+    /// `null` there when no cell succeeded.
+    pub mean_time_to_exploit: Option<f64>,
     /// Escalation-rate delta against the undefended baseline on the same
     /// profile and mode (`None` when the campaign has no undefended cells
     /// for it).
@@ -166,6 +201,10 @@ impl Serialize for DefenseSummary {
             w.key("pattern");
             w.string(pattern.name());
         }
+        if let Some(victim) = self.victim {
+            w.key("victim");
+            w.string(victim.name());
+        }
         w.key("cells");
         self.cells.serialize(w);
         w.key("errored_cells");
@@ -184,6 +223,12 @@ impl Serialize for DefenseSummary {
         self.mean_implicit_dram_rate.serialize(w);
         w.key("mean_seconds_to_first_flip");
         self.mean_seconds_to_first_flip.serialize(w);
+        if self.victim.is_some() {
+            w.key("exploit_successes");
+            self.exploit_successes.serialize(w);
+            w.key("mean_time_to_exploit");
+            self.mean_time_to_exploit.serialize(w);
+        }
         w.key("escalation_rate_delta_vs_undefended");
         self.escalation_rate_delta_vs_undefended.serialize(w);
         w.end_object();
@@ -228,77 +273,102 @@ impl CampaignReport {
             for p in &matrix.profiles {
                 for &m in &matrix.hammer_modes {
                     for &pat in &matrix.patterns {
-                        let rows: Vec<&CellReport> = cells
-                            .iter()
-                            .filter(|c| {
-                                c.defense == d.kind()
-                                    && c.profile == p.name()
-                                    && c.hammer_mode == m
-                                    && c.pattern == pat
-                            })
-                            .collect();
-                        let completed: Vec<&CellReport> =
-                            rows.iter().filter(|c| c.error.is_none()).copied().collect();
-                        let n = completed.len();
-                        let escalations = completed.iter().filter(|c| c.escalated).count();
-                        let flip_cells = completed.iter().filter(|c| c.flips_observed > 0).count();
-                        let escalation_rate = if n == 0 {
-                            0.0
-                        } else {
-                            escalations as f64 / n as f64
-                        };
-                        let mean = |f: &dyn Fn(&CellReport) -> f64| {
-                            if n == 0 {
-                                0.0
-                            } else {
-                                completed.iter().map(|c| f(c)).sum::<f64>() / n as f64
-                            }
-                        };
-                        let first_flip: Vec<f64> = completed
-                            .iter()
-                            .filter_map(|c| c.seconds_to_first_flip)
-                            .collect();
-                        let baseline_rate = {
-                            let base: Vec<&CellReport> = cells
+                        for &vic in &matrix.victims {
+                            let rows: Vec<&CellReport> = cells
                                 .iter()
                                 .filter(|c| {
-                                    c.defense == DefenseKind::Undefended
+                                    c.defense == d.kind()
                                         && c.profile == p.name()
                                         && c.hammer_mode == m
                                         && c.pattern == pat
-                                        && c.error.is_none()
+                                        && c.victim == vic
                                 })
                                 .collect();
-                            if base.is_empty() {
-                                None
+                            let completed: Vec<&CellReport> =
+                                rows.iter().filter(|c| c.error.is_none()).copied().collect();
+                            let n = completed.len();
+                            let escalations = completed.iter().filter(|c| c.escalated).count();
+                            let flip_cells =
+                                completed.iter().filter(|c| c.flips_observed > 0).count();
+                            let escalation_rate = if n == 0 {
+                                0.0
                             } else {
-                                Some(
-                                    base.iter().filter(|c| c.escalated).count() as f64
-                                        / base.len() as f64,
-                                )
-                            }
-                        };
-                        summaries.push(DefenseSummary {
-                            defense: d.kind(),
-                            profile: p.name().to_string(),
-                            hammer_mode: m,
-                            pattern: pat,
-                            cells: rows.len(),
-                            errored_cells: rows.len() - n,
-                            escalations,
-                            escalation_rate,
-                            flip_cells,
-                            mean_flips: mean(&|c| c.flips_observed as f64),
-                            mean_exploitable_flips: mean(&|c| c.exploitable_flips as f64),
-                            mean_implicit_dram_rate: mean(&|c| c.implicit_dram_rate),
-                            mean_seconds_to_first_flip: if first_flip.is_empty() {
-                                None
-                            } else {
-                                Some(first_flip.iter().sum::<f64>() / first_flip.len() as f64)
-                            },
-                            escalation_rate_delta_vs_undefended: baseline_rate
-                                .map(|base| escalation_rate - base),
-                        });
+                                escalations as f64 / n as f64
+                            };
+                            let mean = |f: &dyn Fn(&CellReport) -> f64| {
+                                if n == 0 {
+                                    0.0
+                                } else {
+                                    completed.iter().map(|c| f(c)).sum::<f64>() / n as f64
+                                }
+                            };
+                            let first_flip: Vec<f64> = completed
+                                .iter()
+                                .filter_map(|c| c.seconds_to_first_flip)
+                                .collect();
+                            let exploit_times: Vec<f64> = completed
+                                .iter()
+                                .filter_map(|c| c.time_to_exploit)
+                                .map(|t| t as f64)
+                                .collect();
+                            let baseline_rate = {
+                                let base: Vec<&CellReport> = cells
+                                    .iter()
+                                    .filter(|c| {
+                                        c.defense == DefenseKind::Undefended
+                                            && c.profile == p.name()
+                                            && c.hammer_mode == m
+                                            && c.pattern == pat
+                                            && c.victim == vic
+                                            && c.error.is_none()
+                                    })
+                                    .collect();
+                                if base.is_empty() {
+                                    None
+                                } else {
+                                    Some(
+                                        base.iter().filter(|c| c.escalated).count() as f64
+                                            / base.len() as f64,
+                                    )
+                                }
+                            };
+                            summaries.push(DefenseSummary {
+                                defense: d.kind(),
+                                profile: p.name().to_string(),
+                                hammer_mode: m,
+                                pattern: pat,
+                                victim: vic,
+                                cells: rows.len(),
+                                errored_cells: rows.len() - n,
+                                escalations,
+                                escalation_rate,
+                                flip_cells,
+                                mean_flips: mean(&|c| c.flips_observed as f64),
+                                mean_exploitable_flips: mean(&|c| c.exploitable_flips as f64),
+                                mean_implicit_dram_rate: mean(&|c| c.implicit_dram_rate),
+                                mean_seconds_to_first_flip: if first_flip.is_empty() {
+                                    None
+                                } else {
+                                    Some(first_flip.iter().sum::<f64>() / first_flip.len() as f64)
+                                },
+                                exploit_successes: vic.map(|_| {
+                                    completed
+                                        .iter()
+                                        .filter(|c| c.exploit_succeeded == Some(true))
+                                        .count()
+                                }),
+                                mean_time_to_exploit: if vic.is_none() || exploit_times.is_empty() {
+                                    None
+                                } else {
+                                    Some(
+                                        exploit_times.iter().sum::<f64>()
+                                            / exploit_times.len() as f64,
+                                    )
+                                },
+                                escalation_rate_delta_vs_undefended: baseline_rate
+                                    .map(|base| escalation_rate - base),
+                            });
+                        }
                     }
                 }
             }
@@ -321,6 +391,7 @@ mod tests {
             profile: "ci".into(),
             hammer_mode: HammerMode::default(),
             pattern: None,
+            victim: None,
             repetition: 0,
             cell_seed: 1,
             escalated,
@@ -331,6 +402,8 @@ mod tests {
             implicit_dram_rate: 0.9,
             seconds_to_first_flip: if flips > 0 { Some(1.5) } else { None },
             seconds_to_escalation: None,
+            exploit_succeeded: None,
+            time_to_exploit: None,
             route: None,
             error: None,
         }
@@ -521,6 +594,77 @@ mod tests {
         let mut w = JsonWriter::new(false);
         summaries[1].serialize(&mut w);
         assert!(w.into_string().contains("\"pattern\":\"synthesized\""));
+    }
+
+    #[test]
+    fn victim_rows_and_summaries_carry_the_exploit_keys() {
+        let mut row = cell(DefenseChoice::None, true, 2);
+        row.victim = Some(VictimChoice::KeyRecovery);
+        row.exploit_succeeded = Some(true);
+        row.time_to_exploit = Some(4_800);
+        let mut w = JsonWriter::new(false);
+        row.serialize(&mut w);
+        let json = w.into_string();
+        assert!(json.contains("\"victim\":\"key-recovery\""));
+        assert!(json.contains("\"exploit_succeeded\":true"));
+        assert!(json.contains("\"time_to_exploit\":4800"));
+        // The victim coordinate sits between pattern/profile and repetition;
+        // the outcome keys sit between seconds_to_escalation and route.
+        assert!(json.find("\"victim\"").unwrap() < json.find("\"repetition\"").unwrap());
+        assert!(
+            json.find("\"seconds_to_escalation\"").unwrap()
+                < json.find("\"exploit_succeeded\"").unwrap()
+        );
+        assert!(json.find("\"time_to_exploit\"").unwrap() < json.find("\"route\"").unwrap());
+
+        // Default-victim rows carry none of the keys.
+        let mut w = JsonWriter::new(false);
+        cell(DefenseChoice::None, true, 2).serialize(&mut w);
+        let json = w.into_string();
+        assert!(!json.contains("victim"));
+        assert!(!json.contains("exploit_succeeded"));
+        assert!(!json.contains("time_to_exploit"));
+
+        // Victim summaries split per victim and aggregate exploit outcomes.
+        let m = ScenarioMatrix::new(
+            vec![MachineChoice::TestSmall],
+            vec![DefenseChoice::None],
+            vec![ProfileChoice::Ci],
+            1,
+        )
+        .with_victims(vec![
+            Some(VictimChoice::PteTakeover),
+            Some(VictimChoice::KeyRecovery),
+        ]);
+        let cells = vec![
+            {
+                let mut c = cell(DefenseChoice::None, true, 2);
+                c.victim = Some(VictimChoice::PteTakeover);
+                c.exploit_succeeded = Some(true);
+                c.time_to_exploit = Some(1_000);
+                c
+            },
+            {
+                let mut c = cell(DefenseChoice::None, false, 2);
+                c.victim = Some(VictimChoice::KeyRecovery);
+                c.exploit_succeeded = Some(false);
+                c
+            },
+        ];
+        let summaries = CampaignReport::summarize(&m, &cells);
+        assert_eq!(summaries.len(), 2);
+        assert_eq!(summaries[0].victim, Some(VictimChoice::PteTakeover));
+        assert_eq!(summaries[0].exploit_successes, Some(1));
+        assert_eq!(summaries[0].mean_time_to_exploit, Some(1_000.0));
+        assert_eq!(summaries[1].victim, Some(VictimChoice::KeyRecovery));
+        assert_eq!(summaries[1].exploit_successes, Some(0));
+        assert_eq!(summaries[1].mean_time_to_exploit, None);
+        let mut w = JsonWriter::new(false);
+        summaries[0].serialize(&mut w);
+        let json = w.into_string();
+        assert!(json.contains("\"victim\":\"pte-takeover\""));
+        assert!(json.contains("\"exploit_successes\":1"));
+        assert!(json.contains("\"mean_time_to_exploit\":1000.0"));
     }
 
     #[test]

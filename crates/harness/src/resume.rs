@@ -49,15 +49,19 @@ use crate::seeding::CELL_SEED_SCHEMA_VERSION;
 /// those cells share attacker randomness but have distinct results, and each
 /// gets its own store entry.
 pub fn cell_store_key(coord: &CellCoord) -> CellKey {
-    // The pattern coordinate is appended only for pattern cells, so every
-    // pre-pattern cell key (and any store computed before the axis existed)
-    // stays exactly as it was.
+    // The pattern and victim coordinates are appended only for cells that
+    // set them, so every pre-axis cell key (and any store computed before
+    // the axes existed) stays exactly as it was.
     let pattern = match coord.pattern {
         Some(p) => format!("|pattern={}", p.name()),
         None => String::new(),
     };
+    let victim = match coord.victim {
+        Some(v) => format!("|victim={}", v.name()),
+        None => String::new(),
+    };
     CellKey::from_canonical(&format!(
-        "pthammer-cell|s{}|machine={}|defense={}|profile={}|mode={}|rep={}{}",
+        "pthammer-cell|s{}|machine={}|defense={}|profile={}|mode={}|rep={}{}{}",
         CELL_SEED_SCHEMA_VERSION,
         coord.machine.name(),
         coord.defense.kind().name(),
@@ -65,6 +69,7 @@ pub fn cell_store_key(coord: &CellCoord) -> CellKey {
         coord.hammer_mode.name(),
         coord.repetition,
         pattern,
+        victim,
     ))
 }
 
@@ -429,6 +434,7 @@ mod tests {
             profile: ProfileChoice::Ci,
             hammer_mode: pthammer::HammerMode::default(),
             pattern: None,
+            victim: None,
             repetition: 0,
         };
         assert_eq!(cell_store_key(&coord), cell_store_key(&coord.clone()));
@@ -441,6 +447,11 @@ mod tests {
         let mut rep = coord;
         rep.repetition = 1;
         assert_ne!(cell_store_key(&coord), cell_store_key(&rep));
+        // The victim coordinate splits keys only when set, so victim-free
+        // stores keep their pre-axis keys.
+        let mut victim = coord;
+        victim.victim = Some(pthammer::VictimChoice::CredCorruption);
+        assert_ne!(cell_store_key(&coord), cell_store_key(&victim));
     }
 
     #[test]

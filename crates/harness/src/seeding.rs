@@ -39,14 +39,15 @@ fn mix(mut z: u64) -> u64 {
 /// Derives the deterministic seed for one campaign cell.
 ///
 /// The hash input is `(base_seed, machine name, profile name, repetition)` —
-/// deliberately **not** the defense, **not** the hammer mode, and **not**
-/// the pattern coordinate: cells that differ only in those axes share a
-/// seed, so they attack the *same* DRAM weak-cell map with the same attacker
-/// randomness (and pattern cells synthesize from the same seed), and the
-/// per-defense / per-strategy / per-pattern deltas isolate the axis itself
-/// (the paper's Section IV-G methodology, extended to strategy and pattern
-/// sweeps). Identical coordinates always map to an identical seed regardless
-/// of matrix position.
+/// deliberately **not** the defense, **not** the hammer mode, **not** the
+/// pattern coordinate, and **not** the victim: cells that differ only in
+/// those axes share a seed, so they attack the *same* DRAM weak-cell map
+/// with the same attacker randomness (and pattern cells synthesize from the
+/// same seed, and victim sweeps evaluate the same flips), and the
+/// per-defense / per-strategy / per-pattern / per-victim deltas isolate the
+/// axis itself (the paper's Section IV-G methodology, extended to strategy,
+/// pattern and victim sweeps). Identical coordinates always map to an
+/// identical seed regardless of matrix position.
 pub fn cell_seed(base_seed: u64, coord: &CellCoord) -> u64 {
     let label = format!(
         "{}|{}|{}",
@@ -71,6 +72,7 @@ mod tests {
             profile: ProfileChoice::Ci,
             hammer_mode: pthammer::HammerMode::default(),
             pattern: None,
+            victim: None,
             repetition: rep,
         }
     }
@@ -113,6 +115,16 @@ mod tests {
         let mut synthesized = coord(0);
         synthesized.pattern = Some(pthammer_patterns::PatternChoice::Synthesized);
         assert_eq!(cell_seed(1, &coord(0)), cell_seed(1, &synthesized));
+    }
+
+    #[test]
+    fn victim_axis_shares_the_seed_for_controlled_comparison() {
+        // Victim sweeps follow the same rule: rows differing only in the
+        // victim hammer the same weak-cell map and see the same flips, so
+        // per-victim exploit-outcome deltas isolate the victim itself.
+        let mut key_recovery = coord(0);
+        key_recovery.victim = Some(pthammer::VictimChoice::KeyRecovery);
+        assert_eq!(cell_seed(1, &coord(0)), cell_seed(1, &key_recovery));
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! while a synthesizer-found many-sided pattern still flips — through the
 //! same implicit touch path, on the same machine, from the same seed.
 
-use pthammer::{AttackConfig, HammerMode, PtHammer};
+use pthammer::{AttackConfig, HammerMode, PtHammer, RunOptions};
 use pthammer_dram::FlipModelProfile;
 use pthammer_kernel::System;
 use pthammer_machine::MachineConfig;
@@ -32,7 +32,7 @@ fn trr_stops_double_sided_but_not_the_synthesized_pattern() {
     let mut sys = System::undefended(machine.clone());
     let pid = sys.spawn_process(1000).unwrap();
     let attack = PtHammer::new(attack_config(seed)).unwrap();
-    let stock = attack.run(&mut sys, pid).unwrap();
+    let stock = attack.run_with(&mut sys, pid, RunOptions::new()).unwrap();
     assert_eq!(stock.hammer_mode, HammerMode::ImplicitDoubleSided);
     assert!(
         stock.implicit_dram_rate > 0.5,
@@ -54,7 +54,7 @@ fn trr_stops_double_sided_but_not_the_synthesized_pattern() {
     let mut sys = System::undefended(machine);
     let pid = sys.spawn_process(1000).unwrap();
     let outcome = attack
-        .run_observed_with_strategy(&mut sys, pid, strategy, &mut [])
+        .run_with(&mut sys, pid, RunOptions::new().strategy(strategy))
         .unwrap();
     eprintln!(
         "pattern outcome: attempts {} flips {} dram rate {:.3}",

@@ -21,6 +21,14 @@ pub struct HammerEventTally {
     pub sim_cycles: u64,
     /// Hammer attempts observed on the bus.
     pub attempts: u64,
+    /// `VictimProfiled` events observed (one per run: the `Prepare` phase
+    /// profiles the attached victim exactly once).
+    pub victim_profiles: u64,
+    /// `VictimAttacked` events observed (one per usable flip the `Exploit`
+    /// phase drove through the victim, successful or not).
+    pub victim_attacks: u64,
+    /// `VictimAttacked` events whose outcome succeeded.
+    pub victim_successes: u64,
 }
 
 impl HammerEventTally {
@@ -44,6 +52,11 @@ impl EventSink for HammerEventTally {
                 self.sim_cycles += stats.total_cycles;
             }
             AttackEvent::AttemptStarted { .. } => self.attempts += 1,
+            AttackEvent::VictimProfiled { .. } => self.victim_profiles += 1,
+            AttackEvent::VictimAttacked { outcome, .. } => {
+                self.victim_attacks += 1;
+                self.victim_successes += u64::from(outcome.success);
+            }
             _ => {}
         }
     }
@@ -86,5 +99,27 @@ mod tests {
         let acc = tally.accounting(2.0e9);
         assert_eq!(acc.iterations, 200);
         assert_eq!(acc.cycles_per_iteration(), 700);
+    }
+
+    #[test]
+    fn tally_counts_victim_lifecycle_events() {
+        use pthammer::VictimOutcome;
+        let mut tally = HammerEventTally::new();
+        tally.on_event(&AttackEvent::VictimProfiled {
+            victim: "pte-takeover",
+            targets: 0,
+            at_cycles: 10,
+        });
+        tally.on_event(&AttackEvent::VictimAttacked {
+            outcome: VictimOutcome::failure("pte-takeover", "PageTableTakeover"),
+            at_cycles: 20,
+        });
+        tally.on_event(&AttackEvent::VictimAttacked {
+            outcome: VictimOutcome::escalation("pte-takeover", "PageTableTakeover", 1),
+            at_cycles: 30,
+        });
+        assert_eq!(tally.victim_profiles, 1);
+        assert_eq!(tally.victim_attacks, 2);
+        assert_eq!(tally.victim_successes, 1);
     }
 }

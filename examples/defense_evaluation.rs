@@ -7,7 +7,7 @@
 //!
 //! Run with: `cargo run --release --example defense_evaluation`
 
-use pthammer::{AttackConfig, PtHammer};
+use pthammer::{AttackConfig, PtHammer, RunOptions};
 use pthammer_defenses::DefenseChoice;
 use pthammer_dram::FlipModelProfile;
 use pthammer_kernel::KernelConfig;
@@ -34,14 +34,14 @@ fn run_against(defense: DefenseChoice) {
     };
     let attack = PtHammer::new(config).expect("config");
     let name = defense.name();
-    match attack.run(&mut sys, pid) {
+    match attack.run_with(&mut sys, pid, RunOptions::new()) {
         Ok(outcome) => println!(
             "{name:<12} escalated={:<5} flips={:<3} exploitable={:<3} attempts={:<3} route={:?}",
             outcome.escalated,
             outcome.flips_observed,
             outcome.exploitable_flips,
             outcome.attempts,
-            outcome.route
+            outcome.victim_outcome.map(|v| v.route_label())
         ),
         Err(err) => println!("{name:<12} attack aborted: {err}"),
     }

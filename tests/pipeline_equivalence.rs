@@ -14,7 +14,7 @@
 //!    plain run of the same attack produce equal outcomes, and the
 //!    subscriber's tally agrees with the outcome's own counts.
 
-use pthammer::{AttackEvent, EventSink, HammerMode, PtHammer};
+use pthammer::{AttackEvent, EventSink, HammerMode, PtHammer, RunOptions};
 use pthammer_harness::{
     cell_seed, run_cell, CampaignConfig, CellCoord, DefenseChoice, ProfileChoice,
 };
@@ -31,6 +31,7 @@ fn golden_cell_coord() -> CellCoord {
         profile: ProfileChoice::Ci,
         hammer_mode: HammerMode::ImplicitDoubleSided,
         pattern: None,
+        victim: None,
         repetition: 0,
     }
 }
@@ -77,7 +78,7 @@ impl EventSink for Tally {
             AttackEvent::AttemptStarted { .. } => self.attempts += 1,
             AttackEvent::HammerFinished { stats, .. } => self.iterations += stats.rounds,
             AttackEvent::FlipObserved { .. } => self.flips += 1,
-            AttackEvent::Escalated { .. } => self.escalations += 1,
+            AttackEvent::VictimAttacked { outcome, .. } if outcome.success => self.escalations += 1,
             _ => {}
         }
     }
@@ -100,13 +101,13 @@ fn observed_and_plain_runs_are_identical_and_event_counts_agree() {
 
     let mut sys = System::undefended(machine());
     let pid = sys.spawn_process(1000).unwrap();
-    let plain = attack.run(&mut sys, pid).unwrap();
+    let plain = attack.run_with(&mut sys, pid, RunOptions::new()).unwrap();
 
     let mut sys = System::undefended(machine());
     let pid = sys.spawn_process(1000).unwrap();
     let mut tally = Tally::default();
     let observed = attack
-        .run_observed(&mut sys, pid, &mut [&mut tally])
+        .run_with(&mut sys, pid, RunOptions::new().observed_by(&mut tally))
         .unwrap();
 
     assert_eq!(plain, observed, "subscribers must not perturb the attack");
