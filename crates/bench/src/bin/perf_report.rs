@@ -15,6 +15,11 @@
 //! * `perf_report --list` — print the pinned workload names (one per line)
 //!   and exit without running anything; PERF.md's workload table is checked
 //!   against this.
+//! * `perf_report --only <name>` (repeatable) — restrict the run to the
+//!   named workloads. With `--check` the subset is compared against the
+//!   matching baseline entries; without it the results are printed but the
+//!   baseline is left untouched (a subset can never refresh it). Unknown
+//!   names fail fast, listing the known workloads.
 //!
 //! See `PERF.md` for the schema and the refresh workflow.
 
@@ -22,8 +27,10 @@ use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use pthammer::HammerMode;
-use pthammer_bench::scenarios::{hammer_microbench, hammer_mode_microbench};
+use pthammer::{HammerMode, TraceProfile};
+use pthammer_bench::scenarios::{
+    hammer_compiled_microbench, hammer_microbench, hammer_mode_microbench,
+};
 use pthammer_bench::{ExperimentScale, MachineChoice};
 use pthammer_dram::FlipModelProfile;
 use pthammer_harness::{
@@ -32,7 +39,7 @@ use pthammer_harness::{
     ScenarioMatrix,
 };
 use pthammer_machine::MachineConfig;
-use pthammer_patterns::synthesize;
+use pthammer_patterns::{synthesize, synthesize_with_telemetry, SynthesisConfig};
 use pthammer_perf::{PerfReport, Stopwatch, WorkloadPerf};
 
 /// Base seed of every pinned workload; the campaign seed matches the golden
@@ -75,37 +82,95 @@ fn hammer_loop_workload() -> WorkloadPerf {
     WorkloadPerf::new("hammer_loop_test_small", counters, bench.wall_ns)
 }
 
-/// Workloads 2–4: the same measured hammer loop under each non-default
-/// strategy — the per-mode cost/behavior trajectory of the strategy layer.
-fn hammer_mode_workloads() -> Vec<WorkloadPerf> {
-    HammerMode::all()
-        .into_iter()
-        .filter(|m| !m.is_default())
-        .map(|mode| {
-            let bench = hammer_mode_microbench(
-                MachineChoice::TestSmall,
-                ExperimentScale::scaled(),
-                mode,
-                MICROBENCH_ROUNDS,
-                MICROBENCH_SEED,
-            );
-            let mut counters = bench.counters.named();
-            counters.insert("hammer_iterations".to_string(), bench.accounting.iterations);
-            counters.insert(
-                "cycles_per_iteration".to_string(),
-                bench.accounting.cycles_per_iteration(),
-            );
-            counters.insert("sim_cycles".to_string(), bench.accounting.sim_cycles);
-            let name = format!("hammer_loop_test_small_{}", mode.name().replace('-', "_"));
-            println!(
-                "{name}: {} iters, {} cyc/iter, dram rate {:.3}",
-                bench.accounting.iterations,
-                bench.accounting.cycles_per_iteration(),
-                bench.implicit_dram_rate,
-            );
-            WorkloadPerf::new(&name, counters, bench.wall_ns)
-        })
-        .collect()
+/// Per-mode variants of the measured hammer loop — the cost/behavior
+/// trajectory of the strategy layer, one workload per non-default strategy.
+fn hammer_mode_workload(mode: HammerMode) -> WorkloadPerf {
+    let bench = hammer_mode_microbench(
+        MachineChoice::TestSmall,
+        ExperimentScale::scaled(),
+        mode,
+        MICROBENCH_ROUNDS,
+        MICROBENCH_SEED,
+    );
+    let mut counters = bench.counters.named();
+    counters.insert("hammer_iterations".to_string(), bench.accounting.iterations);
+    counters.insert(
+        "cycles_per_iteration".to_string(),
+        bench.accounting.cycles_per_iteration(),
+    );
+    counters.insert("sim_cycles".to_string(), bench.accounting.sim_cycles);
+    let name = format!("hammer_loop_test_small_{}", mode.name().replace('-', "_"));
+    println!(
+        "{name}: {} iters, {} cyc/iter, dram rate {:.3}",
+        bench.accounting.iterations,
+        bench.accounting.cycles_per_iteration(),
+        bench.implicit_dram_rate,
+    );
+    WorkloadPerf::new(&name, counters, bench.wall_ns)
+}
+
+/// The compiled-trace hammer loop (the production `phase_hammer` path).
+///
+/// The exact profile is cross-checked on the spot against the `RoundOp`
+/// interpreter driving the identical armed attempt: iteration count, total
+/// simulated cycles and every hardware counter must match, or the workload
+/// aborts. The calibrated profile additionally pins the probed minimal LLC
+/// pass count and must land under the ROADMAP's ~2500 cycles/iteration
+/// target for the hammer loop.
+fn hammer_compiled_workload(profile: TraceProfile, name: &str) -> WorkloadPerf {
+    let (bench, llc_passes) = hammer_compiled_microbench(
+        MachineChoice::TestSmall,
+        ExperimentScale::scaled(),
+        profile,
+        MICROBENCH_ROUNDS,
+        MICROBENCH_SEED,
+    );
+    if profile == TraceProfile::Exact {
+        let interpreted = hammer_mode_microbench(
+            MachineChoice::TestSmall,
+            ExperimentScale::scaled(),
+            HammerMode::default(),
+            MICROBENCH_ROUNDS,
+            MICROBENCH_SEED,
+        );
+        assert_eq!(
+            bench.accounting, interpreted.accounting,
+            "exact-profile replay must cost exactly what the interpreter costs"
+        );
+        assert_eq!(
+            bench.counters, interpreted.counters,
+            "exact-profile replay must produce the interpreter's event stream"
+        );
+    } else {
+        assert!(
+            bench.accounting.cycles_per_iteration() <= 2_500,
+            "calibrated hammer loop must meet the ~2500 cyc/iter target, got {}",
+            bench.accounting.cycles_per_iteration()
+        );
+    }
+    let mut counters = bench.counters.named();
+    counters.insert("hammer_iterations".to_string(), bench.accounting.iterations);
+    counters.insert(
+        "cycles_per_iteration".to_string(),
+        bench.accounting.cycles_per_iteration(),
+    );
+    counters.insert("sim_cycles".to_string(), bench.accounting.sim_cycles);
+    counters.insert("llc_eviction_passes".to_string(), llc_passes as u64);
+    println!(
+        "{name}: {} iters, {} cyc/iter, {} LLC passes, dram rate {:.3}",
+        bench.accounting.iterations,
+        bench.accounting.cycles_per_iteration(),
+        llc_passes,
+        bench.implicit_dram_rate,
+    );
+    WorkloadPerf::new(name, counters, bench.wall_ns)
+}
+
+/// The synthesis configuration both pattern workloads pin: the TRR test
+/// machine's search, exactly as a synthesized campaign cell runs it.
+fn pinned_synthesis_config() -> SynthesisConfig {
+    let machine = MachineConfig::ci_small_trr(FlipModelProfile::ci(), MICROBENCH_SEED);
+    CampaignConfig::trr_ci(GOLDEN_BASE_SEED).synthesis_config(&machine)
 }
 
 /// Workload: the deterministic pattern-synthesis loop against the TRR test
@@ -114,8 +179,7 @@ fn hammer_mode_workloads() -> Vec<WorkloadPerf> {
 /// (evaluations, winner shape, delivered disturbance); wall time tracks the
 /// cost of the loop itself.
 fn pattern_synthesis_workload() -> WorkloadPerf {
-    let machine = MachineConfig::ci_small_trr(FlipModelProfile::ci(), MICROBENCH_SEED);
-    let config = CampaignConfig::trr_ci(GOLDEN_BASE_SEED).synthesis_config(&machine);
+    let config = pinned_synthesis_config();
     let watch = Stopwatch::start();
     let result = synthesize(&config, MICROBENCH_SEED);
     let wall_ns = watch.elapsed_ns();
@@ -145,6 +209,42 @@ fn pattern_synthesis_workload() -> WorkloadPerf {
         result.best, result.evaluations, result.score.peak_victim_disturbance
     );
     WorkloadPerf::new("pattern_synthesis_test_small_trr", counters, wall_ns)
+}
+
+/// Workload: the same pinned synthesis run, measured through the incremental
+/// scorer's work telemetry. The pinned counters are the scorer's exact op
+/// accounting — `speedup_x100` is the reference-loop-to-simulated-op ratio
+/// ×100, so the committed baseline itself gates the ROADMAP's ≥5×
+/// candidates/sec target (`speedup_x100 >= 500`). The candidates/sec line
+/// is host-wall derived and therefore reported, never gated (see
+/// EXPERIMENTS.md).
+fn synth_throughput_workload() -> WorkloadPerf {
+    let config = pinned_synthesis_config();
+    let watch = Stopwatch::start();
+    let (result, telemetry) = synthesize_with_telemetry(&config, MICROBENCH_SEED);
+    let wall_ns = watch.elapsed_ns();
+    assert!(
+        telemetry.speedup_x100() >= 500,
+        "incremental scoring must be at least 5x over the reference loop: {telemetry:?}"
+    );
+    let mut counters = BTreeMap::new();
+    counters.insert("evaluations".to_string(), u64::from(result.evaluations));
+    counters.insert("ops_total".to_string(), telemetry.ops_total);
+    counters.insert("ops_stepped".to_string(), telemetry.ops_stepped);
+    counters.insert("ops_reused".to_string(), telemetry.ops_reused);
+    counters.insert("fast_forwards".to_string(), telemetry.fast_forwards);
+    counters.insert("fallbacks".to_string(), telemetry.fallbacks);
+    counters.insert("speedup_x100".to_string(), telemetry.speedup_x100());
+    let candidates_per_sec = result.evaluations as f64 / (wall_ns.max(1) as f64 / 1e9);
+    println!(
+        "synth_throughput_test_small_trr: {candidates_per_sec:.0} candidates/sec \
+         ({} evaluations, {}/{} ops simulated, {:.2}x effective speedup)",
+        result.evaluations,
+        telemetry.ops_stepped,
+        telemetry.ops_total,
+        telemetry.speedup_x100() as f64 / 100.0,
+    );
+    WorkloadPerf::new("synth_throughput_test_small_trr", counters, wall_ns)
 }
 
 fn cell_counters(perf: &CellPerf) -> BTreeMap<String, u64> {
@@ -267,44 +367,164 @@ fn campaign_resume_workload() -> WorkloadPerf {
     WorkloadPerf::new("campaign_resume_ci_matrix", counters, wall_ns)
 }
 
-/// The pinned workload names, in report order — the single list `--list`
-/// prints and `main` executes, so the two can never drift apart.
+/// One pinned workload: its name and the function that runs it.
+type WorkloadEntry = (String, fn() -> WorkloadPerf);
+
+/// The pinned workload registry, in report order — the single list `--list`
+/// prints, `--only` filters and `main` executes, so none of them can drift.
+fn workload_registry() -> Vec<WorkloadEntry> {
+    let mut registry: Vec<WorkloadEntry> = vec![(
+        "hammer_loop_test_small".to_string(),
+        hammer_loop_workload as fn() -> WorkloadPerf,
+    )];
+    for mode in HammerMode::all().into_iter().filter(|m| !m.is_default()) {
+        let name = format!("hammer_loop_test_small_{}", mode.name().replace('-', "_"));
+        registry.push((
+            name,
+            match mode {
+                HammerMode::ImplicitDoubleSided => {
+                    || hammer_mode_workload(HammerMode::ImplicitDoubleSided)
+                }
+                HammerMode::ExplicitDoubleSided => {
+                    || hammer_mode_workload(HammerMode::ExplicitDoubleSided)
+                }
+                HammerMode::ImplicitSingleSided => {
+                    || hammer_mode_workload(HammerMode::ImplicitSingleSided)
+                }
+                HammerMode::ImplicitOneLocation => {
+                    || hammer_mode_workload(HammerMode::ImplicitOneLocation)
+                }
+            },
+        ));
+    }
+    registry.push(("hammer_loop_compiled_test_small".to_string(), || {
+        hammer_compiled_workload(TraceProfile::Exact, "hammer_loop_compiled_test_small")
+    }));
+    registry.push((
+        "hammer_loop_compiled_calibrated_test_small".to_string(),
+        || {
+            hammer_compiled_workload(
+                TraceProfile::Calibrated,
+                "hammer_loop_compiled_calibrated_test_small",
+            )
+        },
+    ));
+    registry.push(("table1_cell_lenovo_t420".to_string(), table1_cell_workload));
+    registry.push(("campaign_ci_matrix".to_string(), campaign_workload));
+    registry.push((
+        "campaign_resume_ci_matrix".to_string(),
+        campaign_resume_workload,
+    ));
+    registry.push((
+        "pattern_synthesis_test_small_trr".to_string(),
+        pattern_synthesis_workload,
+    ));
+    registry.push((
+        "synth_throughput_test_small_trr".to_string(),
+        synth_throughput_workload,
+    ));
+    registry
+}
+
+/// The pinned workload names, in report order.
 fn workload_names() -> Vec<String> {
-    let mut names = vec!["hammer_loop_test_small".to_string()];
-    names.extend(
-        HammerMode::all()
-            .into_iter()
-            .filter(|m| !m.is_default())
-            .map(|mode| format!("hammer_loop_test_small_{}", mode.name().replace('-', "_"))),
-    );
-    names.push("table1_cell_lenovo_t420".to_string());
-    names.push("campaign_ci_matrix".to_string());
-    names.push("campaign_resume_ci_matrix".to_string());
-    names.push("pattern_synthesis_test_small_trr".to_string());
-    names
+    workload_registry().into_iter().map(|(n, _)| n).collect()
+}
+
+/// The workload names of a committed `BENCH_perf.json` text.
+fn baseline_workload_names(committed: &str) -> Result<Vec<String>, String> {
+    let value = serde_json::from_str(committed)
+        .map_err(|e| format!("committed baseline is not JSON: {e}"))?;
+    let workloads = value
+        .get("workloads")
+        .and_then(|w| w.as_array())
+        .ok_or_else(|| "committed baseline has no `workloads` array".to_string())?;
+    workloads
+        .iter()
+        .map(|w| {
+            w.get("name")
+                .and_then(|n| n.as_str())
+                .map(str::to_string)
+                .ok_or_else(|| "committed baseline workload without a `name`".to_string())
+        })
+        .collect()
+}
+
+/// Asserts the two-way invariant between the committed baseline and the
+/// pinned registry: every workload in `BENCH_perf.json` is a known pinned
+/// workload and every pinned workload has a committed baseline entry, in the
+/// same order.
+fn check_baseline_names(committed: &str) -> Result<(), String> {
+    let baseline = baseline_workload_names(committed)?;
+    let pinned = workload_names();
+    if baseline == pinned {
+        return Ok(());
+    }
+    let missing: Vec<&String> = pinned.iter().filter(|n| !baseline.contains(n)).collect();
+    let unknown: Vec<&String> = baseline.iter().filter(|n| !pinned.contains(n)).collect();
+    Err(format!(
+        "BENCH_perf.json and the pinned workloads disagree \
+         (missing from baseline: {missing:?}; unknown in baseline: {unknown:?}; \
+         baseline order: {baseline:?}; pinned order: {pinned:?})"
+    ))
+}
+
+/// Parses repeatable `--only <name>` / `--only=<name>` selections; errors on
+/// a dangling `--only`.
+fn parse_only(args: &[String]) -> Result<Vec<String>, String> {
+    let mut only = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if arg == "--only" {
+            match iter.next() {
+                Some(name) => only.push(name.clone()),
+                None => return Err("--only needs a workload name".to_string()),
+            }
+        } else if let Some(name) = arg.strip_prefix("--only=") {
+            only.push(name.to_string());
+        }
+    }
+    Ok(only)
 }
 
 fn main() -> ExitCode {
-    if std::env::args().any(|a| a == "--list") {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--list") {
         for name in workload_names() {
             println!("{name}");
         }
         return ExitCode::SUCCESS;
     }
-    let check = std::env::args().any(|a| a == "--check");
-    let mut workloads = vec![hammer_loop_workload()];
-    workloads.extend(hammer_mode_workloads());
-    workloads.push(table1_cell_workload());
-    workloads.push(campaign_workload());
-    workloads.push(campaign_resume_workload());
-    workloads.push(pattern_synthesis_workload());
+    let check = args.iter().any(|a| a == "--check");
+    let only = match parse_only(&args) {
+        Ok(only) => only,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let registry = workload_registry();
+    for name in &only {
+        if !registry.iter().any(|(n, _)| n == name) {
+            eprintln!("unknown workload `{name}`; known workloads:");
+            for (known, _) in &registry {
+                eprintln!("  {known}");
+            }
+            return ExitCode::FAILURE;
+        }
+    }
+    let selected: Vec<&WorkloadEntry> = registry
+        .iter()
+        .filter(|(n, _)| only.is_empty() || only.contains(n))
+        .collect();
+    let workloads: Vec<WorkloadPerf> = selected.iter().map(|(_, run)| run()).collect();
     let report = PerfReport::new(workloads);
-    // A hard assert (perf_report only ever runs in release): `--list` must
-    // enumerate exactly the workloads that just executed.
+    // A hard assert (perf_report only ever runs in release): the registry
+    // names must be exactly what just executed.
     assert_eq!(
         report.workload_names(),
-        workload_names(),
-        "--list and the executed workloads must agree"
+        selected.iter().map(|(n, _)| n.clone()).collect::<Vec<_>>(),
+        "the registry and the executed workloads must agree"
     );
     let path = baseline_path();
 
@@ -319,7 +539,16 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
-        match report.check_against(&committed) {
+        if let Err(e) = check_baseline_names(&committed) {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+        let verdict = if only.is_empty() {
+            report.check_against(&committed)
+        } else {
+            check_subset_against(&report, &committed)
+        };
+        match verdict {
             Ok(()) => {
                 println!("perf counters match the committed baseline (wall time not gated)");
                 ExitCode::SUCCESS
@@ -334,9 +563,71 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         }
-    } else {
+    } else if only.is_empty() {
         std::fs::write(&path, report.to_canonical_json()).expect("write BENCH_perf.json");
         println!("wrote {}", path.display());
         ExitCode::SUCCESS
+    } else {
+        println!(
+            "subset run ({} of {} workloads): BENCH_perf.json left untouched; \
+             a full `--update` run refreshes the baseline",
+            selected.len(),
+            registry.len(),
+        );
+        ExitCode::SUCCESS
     }
+}
+
+/// Compares a subset report's counters against the matching workloads of the
+/// committed baseline.
+fn check_subset_against(report: &PerfReport, committed: &str) -> Result<(), String> {
+    let value = serde_json::from_str(committed)
+        .map_err(|e| format!("committed baseline is not JSON: {e}"))?;
+    let entries = value
+        .get("workloads")
+        .and_then(|w| w.as_array())
+        .ok_or_else(|| "committed baseline has no `workloads` array".to_string())?;
+    for workload in &report.workloads {
+        let baseline = entries
+            .iter()
+            .find(|e| e.get("name").and_then(|n| n.as_str()) == Some(workload.name.as_str()))
+            .ok_or_else(|| format!("baseline has no workload `{}`", workload.name))?;
+        let counters = baseline
+            .get("counters")
+            .and_then(|c| c.as_object())
+            .ok_or_else(|| format!("baseline workload `{}` has no counters", workload.name))?;
+        let baseline_counters: BTreeMap<String, u64> = counters
+            .iter()
+            .map(|(k, v)| {
+                v.as_u64()
+                    .map(|v| (k.clone(), v))
+                    .ok_or_else(|| format!("baseline counter `{k}` is not a u64"))
+            })
+            .collect::<Result<_, _>>()?;
+        if baseline_counters != workload.counters {
+            let diverging: Vec<String> = workload
+                .counters
+                .iter()
+                .filter(|(k, v)| baseline_counters.get(*k) != Some(v))
+                .map(|(k, v)| {
+                    format!(
+                        "{k}: baseline {:?} vs current {v}",
+                        baseline_counters.get(k)
+                    )
+                })
+                .chain(
+                    baseline_counters
+                        .keys()
+                        .filter(|k| !workload.counters.contains_key(*k))
+                        .map(|k| format!("{k}: missing from current run")),
+                )
+                .collect();
+            return Err(format!(
+                "perf counters of `{}` deviate from the committed baseline: {}",
+                workload.name,
+                diverging.join("; ")
+            ));
+        }
+    }
+    Ok(())
 }

@@ -5,7 +5,8 @@ use pthammer::{
     hammer::{ExplicitHammer, ExplicitHammerConfig, ExplicitMode},
     pairs::{candidate_pairs, conflict_threshold, verify_same_bank},
     spray::spray_page_tables,
-    AttackConfig, AttackOutcome, HammerMode, ImplicitHammer, PtHammer, RunOptions,
+    AttackConfig, AttackOutcome, CompiledTrace, HammerMode, ImplicitHammer, PtHammer, RunOptions,
+    TraceProfile,
 };
 use pthammer_defenses::{AnvilDetector, AnvilMode};
 use pthammer_dram::{FlipModelProfile, TrrConfig};
@@ -427,6 +428,97 @@ pub fn hammer_mode_microbench(
         },
         wall_ns,
     }
+}
+
+/// Runs the pinned hammer microbenchmark through the compiled-trace replay
+/// path: boots and arms exactly like [`hammer_mode_microbench`] with the
+/// default strategy, compiles the schedule into a [`CompiledTrace`] with the
+/// requested profile, then replays it `rounds` times with perf counters
+/// bracketing the loop. Returns the measurement and the LLC traversal pass
+/// count the trace was compiled to.
+///
+/// With [`TraceProfile::Exact`] this measures the production hammer path
+/// (what `phase_hammer` runs per attempt); with [`TraceProfile::Calibrated`]
+/// it additionally models the attacker minimising eviction work — the
+/// compiler probes the fewest LLC passes that keep every implicit touch
+/// DRAM-served before the measured loop starts.
+pub fn hammer_compiled_microbench(
+    machine: MachineChoice,
+    scale: ExperimentScale,
+    profile: TraceProfile,
+    rounds: u64,
+    seed: u64,
+) -> (HammerMicrobench, usize) {
+    let superpages = machine != MachineChoice::TestSmall;
+    let mut sys = boot(
+        machine,
+        scale,
+        superpages,
+        Box::new(DefaultPolicy::new()),
+        seed,
+    );
+    let clock_hz = sys.machine().clock_hz();
+    let pid = sys.spawn_process(1000).expect("spawn");
+    let config = scale.attack_config(seed, superpages);
+    let attack = PtHammer::new(config.clone()).expect("config");
+    let prepared = attack.prepare(&mut sys, pid).expect("prepare");
+    let row_span = sys.machine().config().dram.geometry.row_span_bytes();
+    let threshold = conflict_threshold(&sys);
+    let strategy = HammerMode::default().strategy();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut armed = None;
+    'search: for _ in 0..16 {
+        for pair in candidate_pairs(&prepared.spray, row_span, 4, &mut rng) {
+            let arm = strategy
+                .arm(&mut sys, pid, pair, &prepared, &config, threshold)
+                .expect("arm");
+            if let Some(a) = arm.armed {
+                armed = Some(a);
+                break 'search;
+            }
+        }
+    }
+    let armed = armed.expect("no armable candidate pair for the default mode");
+    let ops = strategy.round_ops();
+    let mut trace = match profile {
+        TraceProfile::Exact => CompiledTrace::compile(&armed, ops, &sys).expect("compile"),
+        TraceProfile::Calibrated => {
+            CompiledTrace::compile_calibrated(&armed, ops, &mut sys, pid, 10).expect("calibrate")
+        }
+    };
+    for _ in 0..10 {
+        if trace.is_stale(&sys) {
+            trace = trace.recompile(&armed, ops, &sys).expect("recompile");
+        }
+        trace.replay(&mut sys, pid).expect("warm up");
+    }
+
+    let before = MachineCounters::capture(sys.machine());
+    let watch = Stopwatch::start();
+    let mut total_cycles = 0u64;
+    let mut dram_hits = 0u64;
+    for _ in 0..rounds {
+        if trace.is_stale(&sys) {
+            trace = trace.recompile(&armed, ops, &sys).expect("recompile");
+        }
+        let round = trace.replay(&mut sys, pid).expect("round");
+        total_cycles += round.cycles;
+        dram_hits += u64::from(round.low_dram) + u64::from(round.high_dram);
+    }
+    let wall_ns = watch.elapsed_ns();
+    let counters = MachineCounters::capture(sys.machine()).since(&before);
+    let implicit_touches = strategy.implicit_touches_per_round() * rounds;
+    let bench = HammerMicrobench {
+        accounting: HammerAccounting::new(rounds, total_cycles, clock_hz),
+        counters,
+        implicit_dram_rate: if implicit_touches == 0 {
+            0.0
+        } else {
+            dram_hits as f64 / implicit_touches as f64
+        },
+        wall_ns,
+    };
+    (bench, trace.llc_eviction_passes())
 }
 
 // ---------------------------------------------------------------------------

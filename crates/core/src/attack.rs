@@ -158,14 +158,18 @@ impl PtHammer {
         pipeline.run(sys, pid)
     }
 
-    /// Runs the full attack with the default options.
+    /// Runs the full attack with the default options. Deprecated: call
+    /// [`Self::run_with`] with `RunOptions::new()` — this wrapper is that
+    /// call verbatim.
     #[deprecated(since = "0.1.0", note = "use `run_with(sys, pid, RunOptions::new())`")]
     pub fn run(&self, sys: &mut System, pid: Pid) -> Result<AttackOutcome, AttackError> {
         self.run_with(sys, pid, RunOptions::new())
     }
 
     /// Runs the full attack with external event subscribers attached to the
-    /// pipeline's bus.
+    /// pipeline's bus. Deprecated: call [`Self::run_with`] with
+    /// `RunOptions::new().observed_by(sink)` — sinks chain the same way and
+    /// the run is byte-identical.
     #[deprecated(
         since = "0.1.0",
         note = "use `run_with(sys, pid, RunOptions::new().observed_by(sink))`"
@@ -184,7 +188,8 @@ impl PtHammer {
     }
 
     /// Like `run_observed`, but drives an explicitly injected
-    /// [`HammerStrategy`].
+    /// [`HammerStrategy`]. Deprecated: call [`Self::run_with`] with
+    /// `RunOptions::new().strategy(strategy).observed_by(sink)`.
     #[deprecated(
         since = "0.1.0",
         note = "use `run_with(sys, pid, RunOptions::new().strategy(strategy))`"

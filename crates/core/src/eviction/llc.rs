@@ -58,18 +58,25 @@ impl SelectedEvictionSet {
     }
 }
 
+/// Sequential passes one LLC eviction traversal makes by default. A single
+/// pass is not reliable against the scan-resistant (SRRIP-style) replacement
+/// of the modelled LLC — repeated traversal is needed to age a recently
+/// re-referenced victim out of a 12/16-way set. The calibrated trace profile
+/// ([`crate::trace::CompiledTrace::compile_calibrated`]) probes whether a
+/// specific armed set gets away with fewer.
+pub const LLC_EVICTION_PASSES: usize = 3;
+
 /// Traverses an LLC eviction set with the access pattern the attack uses:
-/// three sequential passes. A single pass is not reliable against the
-/// scan-resistant (SRRIP-style) replacement of the modelled LLC — repeated
-/// traversal is needed to age a recently re-referenced victim (here: the
-/// L1PTE, which every hammer iteration re-references) out of a 12/16-way set.
-/// This mirrors the repeated-traversal eviction strategies of Gruss et al.
+/// [`LLC_EVICTION_PASSES`] sequential passes, to age a recently
+/// re-referenced victim (here: the L1PTE, which every hammer iteration
+/// re-references) out of the set. This mirrors the repeated-traversal
+/// eviction strategies of Gruss et al.
 pub fn traverse_eviction_lines(
     sys: &mut System,
     pid: Pid,
     lines: &[VirtAddr],
 ) -> Result<(), AttackError> {
-    sys.access_batch_passes(pid, lines, 3)?;
+    sys.access_batch_passes(pid, lines, LLC_EVICTION_PASSES)?;
     Ok(())
 }
 

@@ -12,7 +12,7 @@ pub mod tlb;
 
 pub use llc::{
     calibrate_latency_threshold, calibrate_llc_eviction, LlcCalibration, LlcEvictionPool,
-    LlcPageGroup, SelectedEvictionSet,
+    LlcPageGroup, SelectedEvictionSet, LLC_EVICTION_PASSES,
 };
 pub use tlb::{
     calibrate_tlb_eviction, profile_tlb_set, TlbCalibration, TlbEvictionPool, TlbEvictionSet,

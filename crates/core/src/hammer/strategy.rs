@@ -291,7 +291,10 @@ impl ArmedPair {
         }
     }
 
-    fn sets_for(
+    /// The armed `(TLB, LLC)` eviction sets for `target` — the resolution
+    /// the trace compiler ([`crate::trace::CompiledTrace`]) hoists out of
+    /// the per-round loop.
+    pub(crate) fn sets_for(
         &self,
         target: Target,
     ) -> Result<(&TlbEvictionSet, &SelectedEvictionSet), AttackError> {
@@ -302,7 +305,9 @@ impl ArmedPair {
         }
     }
 
-    fn addr(&self, target: Target) -> Result<VirtAddr, AttackError> {
+    /// The virtual address `target` resolves to, likewise hoisted to
+    /// compile time by the trace compiler.
+    pub(crate) fn addr(&self, target: Target) -> Result<VirtAddr, AttackError> {
         match target {
             Target::Low => Ok(self.pair.low),
             Target::High => Ok(self.pair.high),
@@ -328,7 +333,10 @@ impl ArmedPair {
     /// For the default double-sided pattern this performs exactly the
     /// operation sequence of [`ImplicitHammer::hammer_round`], so the
     /// pipeline's default path simulates identically to the historical
-    /// driver.
+    /// driver. This is the *reference interpreter*: the hammer phase itself
+    /// replays a [`crate::trace::CompiledTrace`] compiled from the same ops,
+    /// which must be (and is property-tested to be) event- and
+    /// counter-identical to this method.
     pub fn hammer_round(
         &self,
         sys: &mut System,
@@ -387,11 +395,17 @@ pub trait HammerStrategy: fmt::Debug + Send {
 
     /// The exact per-iteration operation pattern the hammer phase executes.
     /// Borrowed from the strategy so synthesized (non-`'static`) patterns
-    /// can be executed through the same interpreter as the built-in modes.
+    /// work like the built-in modes. The hammer phase compiles this schedule
+    /// once per attempt into a [`crate::trace::CompiledTrace`] and replays
+    /// the dense trace; [`ArmedPair::hammer_round`] interprets the same ops
+    /// directly and stays as the reference semantics the compiled path is
+    /// property-tested against.
     fn round_ops(&self) -> &[RoundOp];
 
     /// Number of implicit (page-walk) target touches per iteration — the
-    /// denominator of the implicit DRAM rate.
+    /// denominator of the implicit DRAM rate. Counted over
+    /// [`round_ops`](Self::round_ops), so it holds for both the compiled
+    /// replay and the interpreted reference path.
     fn implicit_touches_per_round(&self) -> u64 {
         self.round_ops()
             .iter()

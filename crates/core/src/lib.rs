@@ -77,6 +77,7 @@ pub mod pairs;
 pub mod pipeline;
 pub mod report;
 pub mod spray;
+pub mod trace;
 pub mod victim;
 
 pub use attack::{PreparedAttack, PtHammer, RunOptions};
@@ -86,7 +87,7 @@ pub use error::AttackError;
 pub use events::{AttackEvent, AttackPhase, EventBus, EventSink, PipelineAccounting};
 pub use eviction::{
     LlcCalibration, LlcEvictionPool, SelectedEvictionSet, TlbCalibration, TlbEvictionPool,
-    TlbEvictionSet, TlbMapping,
+    TlbEvictionSet, TlbMapping, LLC_EVICTION_PASSES,
 };
 pub use hammer::{
     ExplicitHammer, ExplicitHammerConfig, ExplicitMode, HammerMode, HammerStats, HammerStrategy,
@@ -96,4 +97,5 @@ pub use pairs::{HammerPair, PairVerification};
 pub use pipeline::{AttackCtx, AttackPipeline};
 pub use report::{AttackOutcome, PageSetting, StageTimings};
 pub use spray::{SprayRegion, SPRAY_PATTERN};
+pub use trace::{CompiledTrace, TraceProfile};
 pub use victim::{FlipProfile, FlipTarget, Victim, VictimChoice, VictimOutcome, VictimVerdict};

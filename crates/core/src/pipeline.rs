@@ -26,10 +26,11 @@ use crate::events::{AttackEvent, AttackPhase, EventBus, EventSink, PipelineAccou
 use crate::eviction::llc::LlcEvictionPool;
 use crate::eviction::tlb::TlbEvictionPool;
 use crate::hammer::implicit::HammerStats;
-use crate::hammer::strategy::{ArmedPair, HammerStrategy, RoundOp};
+use crate::hammer::strategy::{ArmedPair, HammerStrategy};
 use crate::pairs::{candidate_pairs, conflict_threshold};
 use crate::report::{AttackOutcome, PageSetting};
 use crate::spray::spray_page_tables;
+use crate::trace::CompiledTrace;
 use crate::victim::{ExploitCtx, FlipProfile, PteTakeover, Victim, VictimOutcome};
 
 /// The prepared one-off state (pools + spray), exposed so that the benchmark
@@ -369,8 +370,15 @@ impl<'a, 'b> AttackPipeline<'a, 'b> {
         Ok(arm.armed)
     }
 
-    /// `Hammer`: the strategy's per-round op pattern, `hammer_rounds_per_attempt`
-    /// times, plus the Figure 6 cycle samples while fewer than 50 were taken.
+    /// `Hammer`: the strategy's per-round op pattern compiled once into a
+    /// [`CompiledTrace`] and replayed `hammer_rounds_per_attempt` times,
+    /// plus the Figure 6 cycle samples while fewer than 50 were taken.
+    ///
+    /// The exact-profile trace replays the interpreter's operation stream
+    /// call for call, so this path simulates byte-identically to the
+    /// historical per-round interpretation. A handled demand fault (kernel
+    /// page-table allocation mid-attempt) invalidates the trace; the cheap
+    /// per-round staleness check recompiles it before the next replay.
     fn phase_hammer(
         &mut self,
         ctx: &mut AttackCtx,
@@ -378,16 +386,19 @@ impl<'a, 'b> AttackPipeline<'a, 'b> {
         armed: &ArmedPair,
     ) -> Result<(), AttackError> {
         self.enter(ctx, sys, AttackPhase::Hammer);
-        // Copied out of the strategy (a handful of `Copy` ops, once per
-        // attempt) so emitting events below can borrow the pipeline mutably.
-        let ops: Vec<RoundOp> = self.strategy.round_ops().to_vec();
-        let ops = ops.as_slice();
+        // The trace owns its resolved schedule, so (unlike the old
+        // `round_ops().to_vec()` copy) emitting events below can borrow the
+        // pipeline mutably without holding a borrow of the strategy.
+        let mut trace = CompiledTrace::compile(armed, self.strategy.round_ops(), sys)?;
         let mut stats = HammerStats {
             min_round_cycles: u64::MAX,
             ..HammerStats::default()
         };
         for _ in 0..self.config.hammer_rounds_per_attempt {
-            let round = armed.hammer_round(sys, ctx.pid, ops)?;
+            if trace.is_stale(sys) {
+                trace = CompiledTrace::compile(armed, self.strategy.round_ops(), sys)?;
+            }
+            let round = trace.replay(sys, ctx.pid)?;
             stats.rounds += 1;
             stats.total_cycles += round.cycles;
             stats.min_round_cycles = stats.min_round_cycles.min(round.cycles);
@@ -408,7 +419,10 @@ impl<'a, 'b> AttackPipeline<'a, 'b> {
         );
         if ctx.hammer_cycle_samples.len() < 50 {
             for _ in 0..10 {
-                let round = armed.hammer_round(sys, ctx.pid, ops)?;
+                if trace.is_stale(sys) {
+                    trace = CompiledTrace::compile(armed, self.strategy.round_ops(), sys)?;
+                }
+                let round = trace.replay(sys, ctx.pid)?;
                 ctx.hammer_cycle_samples.push(round.cycles);
             }
         }

@@ -1,0 +1,318 @@
+//! Per-attempt compiled hammer traces.
+//!
+//! The [`RoundOp`] interpreter ([`ArmedPair::hammer_round`]) re-resolves
+//! every operation's targets each round: a match per op, a `Result`-returning
+//! eviction-set lookup, and a virtual dispatch into the eviction-set
+//! traversal helpers. None of that resolution can change while a pair stays
+//! armed — the eviction sets and aggressor addresses are fixed for the whole
+//! attempt — so the hammer phase compiles the schedule **once per attempt**
+//! into a [`CompiledTrace`]: a flat, pre-translated address pool plus a dense
+//! step list that replays through the same lean batch paths
+//! ([`System::access_batch_passes`] / [`System::touch`]) with no per-round
+//! matching, re-lookup, or allocation.
+//!
+//! # Compile / invalidate lifecycle
+//!
+//! A trace is compiled from an [`ArmedPair`] and its strategy's
+//! [`RoundOp`] schedule right after pair selection. The only simulated state
+//! a compiled trace can go stale against is the kernel's page-table
+//! population: a demand fault handled mid-attempt allocates page tables and
+//! changes which physical lines back the sprayed mappings. The trace
+//! therefore records the kernel's `faults_handled` counter at compile time;
+//! [`CompiledTrace::is_stale`] is a single integer compare per round, and
+//! the hammer phase recompiles only when it trips. For the
+//! [`TraceProfile::Exact`] profile recompilation is pure (it reads the armed
+//! state, never the machine), so invalidation cannot perturb the simulation.
+//!
+//! # Profiles
+//!
+//! * [`TraceProfile::Exact`] — the default. Each `EvictLlc` op keeps the
+//!   interpreter's [`LLC_EVICTION_PASSES`]-pass traversal, so replay is
+//!   call-for-call identical to the interpreter: same batch boundaries, same
+//!   fault handling order, same simulated cycles. The golden campaign
+//!   snapshots (which pin simulated seconds-to-first-flip) rest on this.
+//! * [`TraceProfile::Calibrated`] — an attacker-side optimisation for the
+//!   perf workloads: the compiler probes how few LLC traversal passes still
+//!   force every implicit touch's L1PTE load to DRAM and emits the minimal
+//!   trace. This models the paper's attacker minimising eviction work per
+//!   iteration; probing advances the simulation, so campaigns never use it.
+
+use pthammer_kernel::{Pid, System};
+use pthammer_types::VirtAddr;
+
+use crate::error::AttackError;
+use crate::eviction::llc::LLC_EVICTION_PASSES;
+use crate::hammer::strategy::{ArmedPair, RoundOp, RoundOutcome, Target};
+
+/// How a [`CompiledTrace`] resolves the LLC eviction traversals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceProfile {
+    /// Replay exactly the interpreter's operation stream (the default; the
+    /// golden snapshots pin this path's simulated timing).
+    Exact,
+    /// Probe the minimal LLC pass count that keeps the implicit loads
+    /// DRAM-served and emit the dense minimal trace.
+    Calibrated,
+}
+
+/// Which pair member an implicit touch reports its DRAM outcome as.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TouchKind {
+    Low,
+    High,
+    Aggressor,
+}
+
+/// One pre-resolved replay step. Eviction runs index into the trace's flat
+/// address pool so replay streams contiguous memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TraceStep {
+    /// A pipelined batch over `addrs[start..start + len]`, `passes` times —
+    /// one step per eviction op, preserving the interpreter's batch-call
+    /// boundaries (and therefore its fault-handling order).
+    Batch { start: u32, len: u32, passes: u32 },
+    /// An implicit (page-walk) touch of a pre-resolved target address.
+    Touch { addr: VirtAddr, kind: TouchKind },
+    /// A plain data access (explicit hammering).
+    Access { addr: VirtAddr },
+    /// A `clflush` of the target's line (explicit hammering).
+    Clflush { addr: VirtAddr },
+}
+
+/// A strategy's per-round schedule with every target resolved to flat,
+/// pre-translated addresses. Built once per attempt by
+/// [`CompiledTrace::compile`] (or
+/// [`CompiledTrace::compile_calibrated`]) and replayed by the hammer phase.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompiledTrace {
+    /// Flat pool of eviction-run addresses, in op order.
+    addrs: Vec<VirtAddr>,
+    /// Dense replay program over `addrs`.
+    steps: Vec<TraceStep>,
+    /// Kernel `faults_handled` at compile time — the invalidation signal.
+    faults_handled_at_compile: u64,
+    /// LLC traversal passes each `EvictLlc` op was compiled to.
+    llc_passes: usize,
+    /// Which profile compiled this trace.
+    profile: TraceProfile,
+}
+
+impl CompiledTrace {
+    /// Compiles `ops` against `armed` with the exact interpreter semantics
+    /// ([`TraceProfile::Exact`]). Pure with respect to the simulation: only
+    /// the armed state and the kernel's fault counter are read.
+    ///
+    /// # Errors
+    ///
+    /// Fails like the interpreter would on its first round: when an op
+    /// addresses a target the strategy never armed.
+    pub fn compile(armed: &ArmedPair, ops: &[RoundOp], sys: &System) -> Result<Self, AttackError> {
+        Self::compile_with_passes(armed, ops, sys.stats().faults_handled, LLC_EVICTION_PASSES)
+    }
+
+    /// Compiles `ops` with every `EvictLlc` op resolved to `llc_passes`
+    /// traversal passes.
+    fn compile_with_passes(
+        armed: &ArmedPair,
+        ops: &[RoundOp],
+        faults_handled: u64,
+        llc_passes: usize,
+    ) -> Result<Self, AttackError> {
+        let mut addrs = Vec::new();
+        let mut steps = Vec::with_capacity(ops.len());
+        let run = |addrs: &mut Vec<VirtAddr>, lines: &[VirtAddr], passes: usize| {
+            let start = addrs.len() as u32;
+            addrs.extend_from_slice(lines);
+            TraceStep::Batch {
+                start,
+                len: lines.len() as u32,
+                passes: passes as u32,
+            }
+        };
+        for op in ops {
+            steps.push(match op {
+                RoundOp::EvictTlb(t) => {
+                    let (tlb, _) = armed.sets_for(*t)?;
+                    run(&mut addrs, tlb.addresses(), 1)
+                }
+                RoundOp::EvictLlc(t) => {
+                    let (_, llc) = armed.sets_for(*t)?;
+                    run(&mut addrs, &llc.lines, llc_passes)
+                }
+                RoundOp::TouchImplicit(t) => TraceStep::Touch {
+                    addr: armed.addr(*t)?,
+                    kind: match t {
+                        Target::Low => TouchKind::Low,
+                        Target::High => TouchKind::High,
+                        Target::Aggressor(_) => TouchKind::Aggressor,
+                    },
+                },
+                RoundOp::AccessData(t) => TraceStep::Access {
+                    addr: armed.addr(*t)?,
+                },
+                RoundOp::Clflush(t) => TraceStep::Clflush {
+                    addr: armed.addr(*t)?,
+                },
+            });
+        }
+        Ok(Self {
+            addrs,
+            steps,
+            faults_handled_at_compile: faults_handled,
+            llc_passes,
+            profile: TraceProfile::Exact,
+        })
+    }
+
+    /// Compiles `ops` with the minimal LLC traversal pass count that still
+    /// forces every implicit touch's L1PTE load to DRAM
+    /// ([`TraceProfile::Calibrated`]).
+    ///
+    /// For each candidate pass count (fewest first) the compiler replays
+    /// `probe_rounds` probe iterations and accepts the first count whose
+    /// every probe keeps all implicit loads DRAM-served; if none does, it
+    /// falls back to the interpreter's [`LLC_EVICTION_PASSES`]. Probing runs
+    /// real simulated rounds — this profile is for throughput measurement,
+    /// not for golden-pinned campaigns.
+    ///
+    /// # Errors
+    ///
+    /// Fails when an op addresses a target the strategy never armed, or a
+    /// probe replay faults unrecoverably.
+    pub fn compile_calibrated(
+        armed: &ArmedPair,
+        ops: &[RoundOp],
+        sys: &mut System,
+        pid: Pid,
+        probe_rounds: u32,
+    ) -> Result<Self, AttackError> {
+        let touches = ops
+            .iter()
+            .filter(|op| matches!(op, RoundOp::TouchImplicit(_)))
+            .count();
+        let wants_low = ops.contains(&RoundOp::TouchImplicit(Target::Low));
+        let wants_high = ops.contains(&RoundOp::TouchImplicit(Target::High));
+        let aggressor_touches = (touches - usize::from(wants_low) - usize::from(wants_high)) as u64;
+        let mut chosen = None;
+        for passes in 1..LLC_EVICTION_PASSES {
+            let probe = Self::compile_with_passes(armed, ops, sys.stats().faults_handled, passes)?;
+            let mut all_dram = touches > 0;
+            for _ in 0..probe_rounds {
+                let round = probe.replay(sys, pid)?;
+                all_dram &= (!wants_low || round.low_dram)
+                    && (!wants_high || round.high_dram)
+                    && round.aggressor_dram_hits == aggressor_touches;
+            }
+            if all_dram {
+                chosen = Some(passes);
+                break;
+            }
+        }
+        let passes = chosen.unwrap_or(LLC_EVICTION_PASSES);
+        let mut trace = Self::compile_with_passes(armed, ops, sys.stats().faults_handled, passes)?;
+        trace.profile = TraceProfile::Calibrated;
+        Ok(trace)
+    }
+
+    /// Recompiles the same schedule against the kernel's current page-table
+    /// state, keeping this trace's LLC pass count and profile. This is how a
+    /// stale *calibrated* trace is refreshed without re-probing (the minimal
+    /// pass count is a property of the eviction sets, which a page-table
+    /// allocation does not change).
+    ///
+    /// # Errors
+    ///
+    /// Fails when an op addresses a target the strategy never armed.
+    pub fn recompile(
+        &self,
+        armed: &ArmedPair,
+        ops: &[RoundOp],
+        sys: &System,
+    ) -> Result<Self, AttackError> {
+        let mut trace =
+            Self::compile_with_passes(armed, ops, sys.stats().faults_handled, self.llc_passes)?;
+        trace.profile = self.profile;
+        Ok(trace)
+    }
+
+    /// True when the kernel's page-table state changed since compile time
+    /// (a demand fault was handled) and the trace should be recompiled. One
+    /// integer compare — cheap enough for a per-round check.
+    pub fn is_stale(&self, sys: &System) -> bool {
+        sys.stats().faults_handled != self.faults_handled_at_compile
+    }
+
+    /// The profile this trace was compiled with.
+    pub fn profile(&self) -> TraceProfile {
+        self.profile
+    }
+
+    /// LLC traversal passes each eviction op replays (the interpreter's
+    /// [`LLC_EVICTION_PASSES`] for exact traces, possibly fewer for
+    /// calibrated ones).
+    pub fn llc_eviction_passes(&self) -> usize {
+        self.llc_passes
+    }
+
+    /// Replay steps per round.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// True when the trace replays no operations.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Pre-resolved addresses the per-round eviction runs stream through.
+    pub fn eviction_addrs(&self) -> usize {
+        self.addrs.len()
+    }
+
+    /// Executes one hammer iteration by replaying the dense trace. For
+    /// [`TraceProfile::Exact`] traces this performs exactly the operation
+    /// sequence of [`ArmedPair::hammer_round`] — same batch calls, same
+    /// touches, same simulated cycles — without the per-op matching and
+    /// target re-resolution.
+    ///
+    /// # Errors
+    ///
+    /// Propagates unrecoverable faults from the underlying accesses, exactly
+    /// as the interpreter does.
+    pub fn replay(&self, sys: &mut System, pid: Pid) -> Result<RoundOutcome, AttackError> {
+        let start = sys.rdtsc();
+        let mut low_dram = false;
+        let mut high_dram = false;
+        let mut aggressor_dram_hits = 0u64;
+        for step in &self.steps {
+            match step {
+                TraceStep::Batch { start, len, passes } => {
+                    let run = &self.addrs[*start as usize..(*start + *len) as usize];
+                    sys.access_batch_passes(pid, run, *passes as usize)?;
+                }
+                TraceStep::Touch { addr, kind } => {
+                    let acc = sys.touch(pid, *addr)?;
+                    match kind {
+                        TouchKind::Low => low_dram = acc.l1pte_from_dram,
+                        TouchKind::High => high_dram = acc.l1pte_from_dram,
+                        TouchKind::Aggressor => {
+                            aggressor_dram_hits += u64::from(acc.l1pte_from_dram);
+                        }
+                    }
+                }
+                TraceStep::Access { addr } => {
+                    sys.access(pid, *addr)?;
+                }
+                TraceStep::Clflush { addr } => {
+                    sys.clflush(pid, *addr)?;
+                }
+            }
+        }
+        Ok(RoundOutcome {
+            cycles: sys.rdtsc() - start,
+            low_dram,
+            high_dram,
+            aggressor_dram_hits,
+        })
+    }
+}

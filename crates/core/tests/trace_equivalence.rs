@@ -1,0 +1,123 @@
+//! Property tests pinning the compiled-trace hot path to the reference
+//! semantics: replaying a [`CompiledTrace`] must produce event- and
+//! counter-identical simulation to interpreting the same `RoundOp` schedule
+//! through [`ArmedPair::hammer_round`], across randomized strategies,
+//! schedules and spray states.
+//!
+//! The twin-system idiom mirrors `pthammer-cache`'s `batch_equivalence`
+//! tests: two systems booted and armed identically (the whole stack is
+//! deterministic in the seed), one driven by the interpreter and one by the
+//! compiled replay, compared round by round and on final hardware counters.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use pthammer::hammer::ArmedPair;
+use pthammer::pairs::{candidate_pairs, conflict_threshold};
+use pthammer::{AttackConfig, CompiledTrace, HammerMode, PtHammer, RoundOp};
+use pthammer_dram::FlipModelProfile;
+use pthammer_kernel::{DefaultPolicy, KernelConfig, Pid, System};
+use pthammer_machine::MachineConfig;
+
+/// Boots a TestSmall system, prepares the attack and arms the first
+/// armable candidate pair for `mode`. Fully deterministic in `(mode, seed)`,
+/// so calling it twice yields two systems in bit-identical states.
+fn armed_system(mode: HammerMode, seed: u64) -> (System, Pid, ArmedPair) {
+    let mut sys = System::new(
+        MachineConfig::test_small(FlipModelProfile::ci(), seed),
+        KernelConfig::default_config(),
+        Box::new(DefaultPolicy::new()),
+    );
+    let pid = sys.spawn_process(1000).expect("spawn");
+    let config = AttackConfig {
+        hammer_mode: mode,
+        spray_bytes: 512 << 20,
+        llc_profile_trials: 6,
+        ..AttackConfig::quick_test(seed, false)
+    };
+    let attack = PtHammer::new(config.clone()).expect("config");
+    let prepared = attack.prepare(&mut sys, pid).expect("prepare");
+    let row_span = sys.machine().config().dram.geometry.row_span_bytes();
+    let threshold = conflict_threshold(&sys);
+    let strategy = mode.strategy();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut armed = None;
+    'search: for _ in 0..16 {
+        for pair in candidate_pairs(&prepared.spray, row_span, 4, &mut rng) {
+            let arm = strategy
+                .arm(&mut sys, pid, pair, &prepared, &config, threshold)
+                .expect("arm");
+            if let Some(a) = arm.armed {
+                armed = Some(a);
+                break 'search;
+            }
+        }
+    }
+    (sys, pid, armed.expect("no armable candidate pair"))
+}
+
+/// Full machine-counter snapshot used for the final equivalence check.
+fn counters(sys: &System) -> impl PartialEq + std::fmt::Debug {
+    (
+        sys.machine().cache_pmc(),
+        sys.machine().tlb_pmc(),
+        sys.machine().dram_stats(),
+        sys.rdtsc(),
+        sys.stats().faults_handled,
+    )
+}
+
+proptest! {
+    // The armed-system setup dominates a case; debug builds (overflow
+    // checks on) keep enough cases to cross every strategy while release
+    // sweeps more seeds.
+    #![proptest_config(ProptestConfig::with_cases(
+        if cfg!(debug_assertions) { 3 } else { 10 }
+    ))]
+
+    // Replaying a compiled trace must be call-for-call identical to the
+    // interpreter: same per-round outcomes (cycles, DRAM-served flags) and
+    // the same final cache/TLB/DRAM counters, for every strategy's op
+    // vocabulary rearranged into randomized schedules.
+    #[test]
+    fn compiled_replay_matches_the_interpreter(
+        mode in prop::sample::select(HammerMode::all()),
+        seed in 0u64..6,
+        schedules in prop::collection::vec(
+            prop::collection::vec(any::<usize>(), 1..24),
+            1..4,
+        ),
+        rounds in 1u64..4,
+    ) {
+        let (mut interpreted, pid_i, armed_i) = armed_system(mode, seed);
+        let (mut compiled, pid_c, armed_c) = armed_system(mode, seed);
+        prop_assert_eq!(pid_i, pid_c);
+        prop_assert_eq!(counters(&interpreted), counters(&compiled));
+
+        let strategy = mode.strategy();
+        let vocabulary = strategy.round_ops();
+        // The strategy's own schedule first, then randomized rearrangements
+        // (with repetition) of its op vocabulary — every op stays valid for
+        // the armed state while order and intensity vary freely.
+        let mut runs: Vec<Vec<RoundOp>> = vec![vocabulary.to_vec()];
+        runs.extend(schedules.iter().map(|indices| {
+            indices.iter().map(|&i| vocabulary[i % vocabulary.len()]).collect()
+        }));
+
+        for ops in &runs {
+            let trace = CompiledTrace::compile(&armed_c, ops, &compiled)
+                .expect("compile");
+            prop_assert_eq!(trace.len(), ops.len());
+            prop_assert!(!trace.is_stale(&compiled));
+            for _ in 0..rounds {
+                let reference = armed_i
+                    .hammer_round(&mut interpreted, pid_i, ops)
+                    .expect("interpret");
+                let replayed = trace.replay(&mut compiled, pid_c).expect("replay");
+                prop_assert_eq!(replayed, reference);
+            }
+            prop_assert_eq!(counters(&interpreted), counters(&compiled));
+        }
+    }
+}

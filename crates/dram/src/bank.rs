@@ -7,6 +7,7 @@ use pthammer_types::{Cycles, DetHashSet};
 
 use crate::{
     row_buffer::{RowBuffer, RowBufferOutcome, RowBufferPolicy},
+    rows::RowStateSoA,
     timing::DramTimings,
     trr::{TrrConfig, TrrSampler},
     vulnerability::{FlipModel, WeakCell},
@@ -38,19 +39,31 @@ pub struct Bank {
     rows: u32,
     row_buffer: RowBuffer,
     window_start: Cycles,
-    /// Aggressor-row activation counts within the current refresh window,
-    /// dense per row. Two to three row-state probes run per activation on
-    /// the hammer loop's hot path, so this is a flat array (index = row)
-    /// rather than a map.
-    activations: Vec<u32>,
-    /// Victim-row disturbance (sum of adjacent activations) within the
-    /// window, dense per row like `activations`.
-    disturbance: Vec<u32>,
+    /// Per-row window bookkeeping (activation counts, last-activation
+    /// times, disturbance) in structure-of-arrays layout. Two to three
+    /// row-state probes run per activation on the hammer loop's hot path,
+    /// so each counter kind is a flat dense `u32` array (index = row)
+    /// rather than a map or an array of structs.
+    row_state: RowStateSoA,
     /// Weak cells that already fired this window (avoid duplicate events).
     /// Only consulted once a victim crosses the profile's minimum threshold,
     /// so a (fast-hashed) set is fine here.
     emitted: DetHashSet<(u32, u32)>,
     #[serde(skip)]
+    trr_sampler: TrrSampler,
+}
+
+/// A restorable snapshot of a bank's hammer-relevant state: row buffer,
+/// refresh-window bookkeeping, the structure-of-arrays row counters, the
+/// emitted-flip set and the TRR sampler. Taken at schedule boundaries by the
+/// pattern synthesizer's incremental scorer, so a mutated schedule can
+/// resume evaluation from a shared prefix instead of replaying it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BankCheckpoint {
+    row_buffer: RowBuffer,
+    window_start: Cycles,
+    row_state: RowStateSoA,
+    emitted: DetHashSet<(u32, u32)>,
     trr_sampler: TrrSampler,
 }
 
@@ -62,8 +75,7 @@ impl Bank {
             rows,
             row_buffer: RowBuffer::new(),
             window_start: Cycles::ZERO,
-            activations: vec![0; rows as usize],
-            disturbance: vec![0; rows as usize],
+            row_state: RowStateSoA::new(rows),
             emitted: DetHashSet::default(),
             trr_sampler: TrrSampler::default(),
         }
@@ -76,12 +88,55 @@ impl Bank {
 
     /// Current disturbance accumulated by `row` in this refresh window.
     pub fn disturbance_of(&self, row: u32) -> u32 {
-        self.disturbance.get(row as usize).copied().unwrap_or(0)
+        self.row_state.disturbance_of(row)
     }
 
     /// Current activation count of `row` in this refresh window.
     pub fn activations_of(&self, row: u32) -> u32 {
-        self.activations.get(row as usize).copied().unwrap_or(0)
+        self.row_state.activations_of(row)
+    }
+
+    /// Window-relative cycle of `row`'s most recent activation in this
+    /// refresh window, or `None` when the row has not been activated yet.
+    pub fn last_activation_of(&self, row: u32) -> Option<u32> {
+        self.row_state.last_activation_of(row)
+    }
+
+    /// The currently open row of this bank's row buffer, if any.
+    pub fn open_row(&self) -> Option<u32> {
+        self.row_buffer.open_row()
+    }
+
+    /// The TRR sampler's tracked `(row, activation count)` entries in
+    /// recency order (front = coldest). Read-only introspection for the
+    /// synthesizer's incremental scorer, which keys its round-boundary
+    /// checkpoints on `(open_row, sampler state)` — under the open-page
+    /// policy these two fully determine a bank's future activation and
+    /// targeted-refresh behaviour within a refresh window.
+    pub fn trr_tracked(&self) -> &[(u32, u32)] {
+        self.trr_sampler.tracked()
+    }
+
+    /// Snapshots the bank's hammer-relevant state. Restoring the checkpoint
+    /// with [`Bank::restore`] resumes the simulation bit-identically from
+    /// the snapshot point.
+    pub fn checkpoint(&self) -> BankCheckpoint {
+        BankCheckpoint {
+            row_buffer: self.row_buffer.clone(),
+            window_start: self.window_start,
+            row_state: self.row_state.clone(),
+            emitted: self.emitted.clone(),
+            trr_sampler: self.trr_sampler.clone(),
+        }
+    }
+
+    /// Restores state previously captured by [`Bank::checkpoint`].
+    pub fn restore(&mut self, checkpoint: &BankCheckpoint) {
+        self.row_buffer = checkpoint.row_buffer.clone();
+        self.window_start = checkpoint.window_start;
+        self.row_state = checkpoint.row_state.clone();
+        self.emitted = checkpoint.emitted.clone();
+        self.trr_sampler = checkpoint.trr_sampler.clone();
     }
 
     /// Handles a refresh-window rollover if `now` is past the window end.
@@ -94,8 +149,7 @@ impl Bank {
         }
         let windows = elapsed / window;
         self.window_start = Cycles::new(self.window_start.as_u64() + windows * window);
-        self.activations.fill(0);
-        self.disturbance.fill(0);
+        self.row_state.clear();
         self.emitted.clear();
         self.trr_sampler.reset();
         // A refresh closes any open row.
@@ -121,24 +175,23 @@ impl Bank {
         let mut trr_fired = false;
 
         if outcome.activated() {
-            self.activations[row as usize] += 1;
+            self.row_state
+                .record_activation(row, now.saturating_sub(self.window_start).as_u64());
 
             if let Some(aggressor) = self.trr_sampler.record(row, trr) {
                 trr_fired = true;
                 // Targeted refresh of the aggressor's neighbours clears their
                 // accumulated disturbance.
                 if aggressor > 0 {
-                    self.disturbance[(aggressor - 1) as usize] = 0;
+                    self.row_state.clear_disturbance(aggressor - 1);
                 }
                 if aggressor + 1 < self.rows {
-                    self.disturbance[(aggressor + 1) as usize] = 0;
+                    self.row_state.clear_disturbance(aggressor + 1);
                 }
             }
 
             for victim in neighbours(row, self.rows) {
-                let d = &mut self.disturbance[victim as usize];
-                *d += 1;
-                let disturbance = *d;
+                let disturbance = self.row_state.add_disturbance(victim);
                 // No weak cell's threshold is below the profile minimum, so
                 // the (comparatively expensive) weak-cell derivation can be
                 // skipped until the victim's disturbance reaches it.

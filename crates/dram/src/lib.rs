@@ -34,18 +34,20 @@ mod flip_event;
 mod geometry;
 mod module;
 mod row_buffer;
+mod rows;
 mod stats;
 mod timing;
 mod trr;
 mod vulnerability;
 
 pub use address::{AddressMapping, DramAddress, MappingKind};
-pub use bank::Bank;
+pub use bank::{Bank, BankCheckpoint};
 pub use config::DramConfig;
 pub use flip_event::FlipEvent;
 pub use geometry::DramGeometry;
 pub use module::{DramAccessOutcome, DramModule};
 pub use row_buffer::{RowBuffer, RowBufferOutcome, RowBufferPolicy};
+pub use rows::RowStateSoA;
 pub use stats::DramStats;
 pub use timing::DramTimings;
 pub use trr::TrrConfig;

@@ -40,7 +40,7 @@ pub enum RowBufferPolicy {
 }
 
 /// Row-buffer state of a single bank.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RowBuffer {
     open_row: Option<u32>,
     last_access: Cycles,

@@ -68,7 +68,7 @@ impl Default for TrrConfig {
 /// than the sampler has slots** and every activation evicts the
 /// least-recently-activated entry before its counter can reach the
 /// threshold, so no targeted refresh ever fires.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub(crate) struct TrrSampler {
     /// Tracked (row, activation count) pairs in recency order; bounded by
     /// `sampler_capacity`.
@@ -76,6 +76,11 @@ pub(crate) struct TrrSampler {
 }
 
 impl TrrSampler {
+    /// The tracked `(row, activation count)` entries in recency order.
+    pub(crate) fn tracked(&self) -> &[(u32, u32)] {
+        &self.tracked
+    }
+
     /// Records an activation of `row`; returns the rows whose neighbours
     /// should receive a targeted refresh.
     pub(crate) fn record(&mut self, row: u32, config: &TrrConfig) -> Option<u32> {

@@ -42,7 +42,8 @@ pub use cache::{SynthesisCache, SynthesisSource, SYNTH_SCHEMA_VERSION};
 pub use pattern::{pattern_from_json, HammerPattern, MAX_OFFSET, MAX_SCHEDULE, MAX_SIDES};
 pub use strategy::PatternHammer;
 pub use synth::{
-    evaluate, synthesis_result_from_json, synthesize, PatternScore, SynthesisConfig,
+    evaluate, evaluate_incremental, synthesis_result_from_json, synthesize,
+    synthesize_with_telemetry, PatternScore, SchedulePrefixTrace, SynthTelemetry, SynthesisConfig,
     SynthesisResult,
 };
 

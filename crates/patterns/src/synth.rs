@@ -16,13 +16,36 @@
 //! cells synthesize on the fly at any thread count and lets the
 //! content-addressed cache ([`crate::SynthesisCache`]) resume searches
 //! byte-identically.
+//!
+//! # Incremental scoring
+//!
+//! Candidate scoring dominates synthesis cost, so the loop scores through
+//! [`evaluate_incremental`] instead of the reference [`evaluate`] loop. The
+//! incremental path exploits two structural facts of the evaluation, and is
+//! bit-identical to the reference by construction (property-tested):
+//!
+//! * **Round-boundary recurrence.** Within one refresh window the bank's
+//!   future behaviour under the open-page policy is fully determined by
+//!   `(open row, TRR sampler state, background-stream phase)`. The scorer
+//!   checkpoints that reduced state at every round boundary; as soon as a
+//!   round starts in a previously seen state the remaining rounds are a
+//!   known cycle and their TRR fires and victim disturbance are computed
+//!   analytically instead of simulated.
+//! * **Prefix reuse.** A mutated schedule shares a prefix with its parent.
+//!   Scoring captures a [`BankCheckpoint`] after every schedule entry of the
+//!   first round; a child resumes from the longest shared prefix
+//!   (delta-evaluation from the mutation point) instead of replaying it.
+
+use std::collections::BTreeMap;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::ser::JsonWriter;
 use serde::{Deserialize, Serialize};
 
-use pthammer_dram::{Bank, DramTimings, FlipModel, FlipModelProfile, RowBufferPolicy, TrrConfig};
+use pthammer_dram::{
+    Bank, BankCheckpoint, DramTimings, FlipModel, FlipModelProfile, RowBufferPolicy, TrrConfig,
+};
 use pthammer_machine::MachineConfig;
 use pthammer_types::Cycles;
 
@@ -174,12 +197,18 @@ impl PatternScore {
     }
 }
 
-/// Scores `pattern` on a fresh TRR-enabled bank.
+/// Scores `pattern` on a fresh TRR-enabled bank — the **reference oracle**.
 ///
 /// The evaluation replays the pattern's activation schedule (plus the
 /// deterministic background stream) through [`Bank::access`] — the same
 /// row-buffer, refresh-window and TRR-sampler code the full simulation runs
 /// — and tracks the peak disturbance of the detectable victim row.
+///
+/// This is the semantic definition of a pattern's score. The synthesis loop
+/// itself scores through [`evaluate_incremental`], which is bit-identical
+/// but skips work via recurrence fast-forwarding and prefix reuse; this full
+/// loop remains the oracle the incremental path is property-tested against
+/// (and its fallback when a refresh-window rollover is possible).
 pub fn evaluate(pattern: &HammerPattern, config: &SynthesisConfig) -> PatternScore {
     let mut bank = Bank::new(0, EVAL_ROWS);
     // Invulnerable cells: evaluation measures disturbance, not flips, and
@@ -233,6 +262,358 @@ pub fn evaluate(pattern: &HammerPattern, config: &SynthesisConfig) -> PatternSco
         trr_fired,
         touches_per_round: pattern.touches_per_round() as u32,
     }
+}
+
+/// Work accounting of the incremental scorer, summed over a synthesis run
+/// (or reported per evaluation by [`evaluate_incremental`]).
+///
+/// `ops_total / ops_stepped` is the scorer's effective speedup over the
+/// reference loop: every avoided op is one [`Bank::access`] (plus its TRR
+/// and disturbance bookkeeping) that was fast-forwarded or reused instead of
+/// simulated.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SynthTelemetry {
+    /// DRAM accesses the reference loop would have simulated.
+    pub ops_total: u64,
+    /// DRAM accesses actually simulated through [`Bank::access`].
+    pub ops_stepped: u64,
+    /// Accesses skipped by resuming from a parent's schedule-prefix
+    /// checkpoint.
+    pub ops_reused: u64,
+    /// Evaluations that hit a round-boundary recurrence and fast-forwarded
+    /// the remaining rounds analytically.
+    pub fast_forwards: u64,
+    /// Evaluations that fell back to the reference loop (possible
+    /// refresh-window rollover or counter-range limits).
+    pub fallbacks: u64,
+}
+
+impl SynthTelemetry {
+    /// Accumulates `other` into `self`.
+    pub fn absorb(&mut self, other: &SynthTelemetry) {
+        self.ops_total += other.ops_total;
+        self.ops_stepped += other.ops_stepped;
+        self.ops_reused += other.ops_reused;
+        self.fast_forwards += other.fast_forwards;
+        self.fallbacks += other.fallbacks;
+    }
+
+    /// Effective speedup over the reference loop, ×100 (integer, so it can
+    /// be pinned exactly in the perf baselines): `500` means the scorer
+    /// simulated a fifth of the reference loop's accesses.
+    pub fn speedup_x100(&self) -> u64 {
+        (self.ops_total * 100)
+            .checked_div(self.ops_stepped)
+            .unwrap_or(0)
+    }
+}
+
+/// Checkpoints of one evaluation's first round, taken after every schedule
+/// entry, plus the entry's resolved bank rows. A mutated child schedule
+/// resumes scoring from the longest prefix whose resolved rows match the
+/// parent's — delta-evaluation from the mutation point.
+///
+/// Only valid for the exact [`SynthesisConfig`] it was captured under; the
+/// config's canonical string is embedded and checked on resume.
+#[derive(Debug, Clone)]
+pub struct SchedulePrefixTrace {
+    /// The capturing config's [`SynthesisConfig::canonical_string`].
+    config_key: String,
+    /// Resolved bank row of each round-0 schedule entry.
+    entry_rows: Vec<u32>,
+    /// `boundaries[j]`: bank state and cumulative TRR fires after executing
+    /// `j` schedule entries of round 0 (`boundaries[0]` is the fresh bank).
+    boundaries: Vec<(BankCheckpoint, u32)>,
+}
+
+/// Reduced round-start state of the evaluation bank: `(open row,
+/// TRR-tracked rows with their counters, background-row phase)`. Within one
+/// refresh window this key fully determines the bank's future behavior on
+/// the scoring path, so a repeat marks a cycle to fast-forward.
+type RoundStateKey = (Option<u32>, Vec<(u32, u32)>, u32);
+
+/// Per-round summary recorded while stepping concretely, sufficient to
+/// replay the round's effect on the score analytically once the round is
+/// known to repeat.
+#[derive(Debug, Clone, Copy, Default)]
+struct RoundRecord {
+    /// Targeted refreshes TRR issued during the round.
+    trr: u32,
+    /// Whether any of them cleared the victim row's disturbance.
+    clear: bool,
+    /// Victim disturbance accumulated after the round's last victim clear
+    /// (the round-end value when `clear` is set, regardless of the value the
+    /// round started from).
+    tail: u32,
+    /// Total victim disturbance the round adds when nothing clears it.
+    inc: u32,
+    /// Victim disturbance at the end of the round as simulated.
+    v_end: u32,
+}
+
+/// One evaluation access plus its score bookkeeping (shared by the schedule
+/// and background portions of a round).
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn eval_step(
+    bank: &mut Bank,
+    row: u32,
+    now: &mut Cycles,
+    config: &SynthesisConfig,
+    flip_model: &FlipModel,
+    victim: u32,
+    rec: &mut RoundRecord,
+    trr_fired: &mut u32,
+) {
+    let result = bank.access(
+        row,
+        *now,
+        &config.timings,
+        RowBufferPolicy::OpenPage,
+        flip_model,
+        &config.trr,
+    );
+    *now += Cycles::new(EVAL_CYCLES_PER_ACCESS);
+    if result.trr_fired {
+        rec.trr += 1;
+        *trr_fired += 1;
+    }
+    // The victim row's disturbance changes only on activations of adjacent
+    // rows: a targeted refresh of the activated row's neighbours clears it
+    // (before this access's own increment lands), then the activation adds
+    // one.
+    if result.outcome.activated() && row.abs_diff(victim) == 1 {
+        if result.trr_fired {
+            rec.clear = true;
+            rec.tail = 0;
+        }
+        rec.tail += 1;
+        rec.inc += 1;
+    }
+}
+
+/// Scores `pattern` bit-identically to [`evaluate`], skipping simulation
+/// work that cannot change the result.
+///
+/// Two accelerations apply (see the module docs): resuming from the longest
+/// shared schedule prefix of `resume` (a parent candidate's
+/// [`SchedulePrefixTrace`], ignored unless it was captured under the same
+/// config), and fast-forwarding the remaining rounds analytically once a
+/// round starts in a previously seen reduced bank state. When a
+/// refresh-window rollover is possible within the op budget (the reduced
+/// state would no longer determine future behaviour), the reference loop
+/// runs instead and the returned trace is `None`.
+///
+/// Returns the score, the captured prefix trace for this pattern (for its
+/// future children), and the work telemetry of this single evaluation.
+pub fn evaluate_incremental(
+    pattern: &HammerPattern,
+    config: &SynthesisConfig,
+    resume: Option<&SchedulePrefixTrace>,
+) -> (PatternScore, Option<SchedulePrefixTrace>, SynthTelemetry) {
+    let per_round = pattern.schedule.len() as u64 + u64::from(config.background_rows_per_round);
+    let n_rounds = u64::from(config.eval_op_budget).div_ceil(per_round);
+    let ops_total = n_rounds * per_round;
+    let mut telemetry = SynthTelemetry {
+        ops_total,
+        ..SynthTelemetry::default()
+    };
+
+    // The recurrence argument needs the refresh window to never roll (a
+    // roll resets counters the analytic fast-forward does not model), and
+    // the analytic sums need headroom in `u32`. Outside that envelope the
+    // reference loop is the scorer.
+    if ops_total.saturating_mul(EVAL_CYCLES_PER_ACCESS) >= config.timings.refresh_window
+        || ops_total > u64::from(u32::MAX / 4)
+    {
+        telemetry.ops_stepped = ops_total;
+        telemetry.fallbacks = 1;
+        return (evaluate(pattern, config), None, telemetry);
+    }
+
+    let config_key = config.canonical_string();
+    let flip_model = FlipModel::new(FlipModelProfile::invulnerable(), 0, 8_192);
+    let rows: Vec<u32> = pattern
+        .aggressor_rows(i64::from(EVAL_BASE_ROW))
+        .into_iter()
+        .map(|r| u32::try_from(r).expect("validated offsets stay in the eval bank"))
+        .collect();
+    let entry_rows: Vec<u32> = pattern
+        .schedule
+        .iter()
+        .map(|&e| rows[usize::from(e)])
+        .collect();
+    let victim = EVAL_BASE_ROW + 1;
+
+    let mut bank = Bank::new(0, EVAL_ROWS);
+    let mut now = Cycles::ZERO;
+    let mut trr_fired = 0u32;
+    let mut peak = 0u32;
+    let mut background_cursor = 0u32;
+
+    // Resume round 0 from the longest shared schedule prefix of the parent.
+    let mut start_entry = 0usize;
+    let mut boundaries: Vec<(BankCheckpoint, u32)> = vec![(bank.checkpoint(), 0)];
+    if let Some(trace) = resume.filter(|t| t.config_key == config_key) {
+        let p = entry_rows
+            .iter()
+            .zip(&trace.entry_rows)
+            .take_while(|(a, b)| a == b)
+            .count()
+            .min(trace.boundaries.len() - 1);
+        if p > 0 {
+            let (checkpoint, fired) = &trace.boundaries[p];
+            bank.restore(checkpoint);
+            trr_fired = *fired;
+            now = Cycles::new(p as u64 * EVAL_CYCLES_PER_ACCESS);
+            start_entry = p;
+            boundaries = trace.boundaries[..=p].to_vec();
+            telemetry.ops_reused = p as u64;
+        }
+    }
+
+    // Step rounds concretely until one starts in a previously seen reduced
+    // state. Under the open-page policy, within one refresh window, `(open
+    // row, TRR sampler, background phase)` fully determines the bank's
+    // future activations and targeted refreshes — activation counts and
+    // last-activation times are write-only here, and the invulnerable flip
+    // profile keeps the weak-cell path dead — so a repeated round-start key
+    // makes every remaining round a known cycle. Round 0 is excluded: its
+    // closed-row start state cannot recur without a window roll.
+    let mut records: Vec<RoundRecord> = Vec::new();
+    let mut seen: BTreeMap<RoundStateKey, u64> = BTreeMap::new();
+    let mut recurrence = None;
+    let mut round = 0u64;
+    while round < n_rounds {
+        if round > 0 {
+            let key = (
+                bank.open_row(),
+                bank.trr_tracked().to_vec(),
+                background_cursor % EVAL_BACKGROUND_ROWS,
+            );
+            match seen.get(&key) {
+                Some(&start) => {
+                    recurrence = Some((start, round));
+                    break;
+                }
+                None => {
+                    seen.insert(key, round);
+                }
+            }
+        }
+        let v_start = bank.disturbance_of(victim);
+        let mut rec = RoundRecord::default();
+        let first = if round == 0 { start_entry } else { 0 };
+        for &row in &entry_rows[first..] {
+            eval_step(
+                &mut bank,
+                row,
+                &mut now,
+                config,
+                &flip_model,
+                victim,
+                &mut rec,
+                &mut trr_fired,
+            );
+            telemetry.ops_stepped += 1;
+            if round == 0 {
+                boundaries.push((bank.checkpoint(), trr_fired));
+            }
+        }
+        for _ in 0..config.background_rows_per_round {
+            let row = EVAL_BACKGROUND_BASE_ROW + (background_cursor % EVAL_BACKGROUND_ROWS);
+            background_cursor += 1;
+            eval_step(
+                &mut bank,
+                row,
+                &mut now,
+                config,
+                &flip_model,
+                victim,
+                &mut rec,
+                &mut trr_fired,
+            );
+            telemetry.ops_stepped += 1;
+        }
+        rec.v_end = bank.disturbance_of(victim);
+        debug_assert_eq!(
+            rec.v_end,
+            if rec.clear {
+                rec.tail
+            } else {
+                v_start + rec.inc
+            },
+            "round summary must reproduce the simulated victim disturbance"
+        );
+        peak = peak.max(rec.v_end);
+        records.push(rec);
+        round += 1;
+    }
+
+    if let Some((start, repeat)) = recurrence {
+        telemetry.fast_forwards = 1;
+        let cycle = &records[start as usize..repeat as usize];
+        let len = cycle.len() as u64;
+        let remaining = n_rounds - repeat;
+        let full = remaining / len;
+        let partial = (remaining % len) as usize;
+
+        // TRR fires repeat exactly with the cycle.
+        let cycle_trr: u64 = cycle.iter().map(|c| u64::from(c.trr)).sum();
+        let prefix_trr: u64 = cycle[..partial].iter().map(|c| u64::from(c.trr)).sum();
+        trr_fired += (full * cycle_trr + prefix_trr) as u32;
+
+        // The reference loop samples the victim's disturbance once per
+        // round, at the round end, so only the per-round end values matter.
+        let carry = records[repeat as usize - 1].v_end;
+        let roll = |carry: u32| {
+            let mut v = carry;
+            let mut out = Vec::with_capacity(cycle.len());
+            for c in cycle {
+                v = if c.clear { c.tail } else { v + c.inc };
+                out.push(v);
+            }
+            out
+        };
+        if cycle.iter().any(|c| c.clear) {
+            // A clear inside the cycle makes the round-end values
+            // carry-independent from that point on: the first repetition
+            // (from `carry`) can differ, every later one equals the second.
+            let seq1 = roll(carry);
+            let seq2 = roll(seq1[cycle.len() - 1]);
+            let ff_peak = if full == 0 {
+                seq1[..partial].iter().copied().max().unwrap_or(0)
+            } else {
+                let mut m = seq1.iter().copied().max().unwrap_or(0);
+                if full >= 2 {
+                    m = m.max(seq2.iter().copied().max().unwrap_or(0));
+                }
+                m.max(seq2[..partial].iter().copied().max().unwrap_or(0))
+            };
+            peak = peak.max(ff_peak);
+        } else {
+            // Nothing ever clears the victim inside the cycle: disturbance
+            // is monotone, the final value is the peak.
+            let cycle_inc: u64 = cycle.iter().map(|c| u64::from(c.inc)).sum();
+            let prefix_inc: u64 = cycle[..partial].iter().map(|c| u64::from(c.inc)).sum();
+            peak = peak.max((u64::from(carry) + full * cycle_inc + prefix_inc) as u32);
+        }
+    }
+
+    let strides = config.spray_strides;
+    let fit = u64::from(strides.saturating_sub(pattern.span().unsigned_abs()));
+    let score = PatternScore {
+        peak_victim_disturbance: peak,
+        expected_disturbance: (u64::from(peak) * fit / u64::from(strides)) as u32,
+        trr_fired,
+        touches_per_round: pattern.touches_per_round() as u32,
+    };
+    let trace = SchedulePrefixTrace {
+        config_key,
+        entry_rows,
+        boundaries,
+    };
+    (score, Some(trace), telemetry)
 }
 
 /// Result of one synthesis run.
@@ -304,28 +685,50 @@ pub fn synthesis_result_from_json(body: &str) -> Result<SynthesisResult, String>
     })
 }
 
-/// Runs the deterministic synthesis loop.
-///
-/// Seeds the population with the double-sided baseline and uniform n-sided
-/// rotations, then evolves it: score → rank (score, then canonical name, so
-/// ties never depend on insertion order) → keep elites → refill with seeded
-/// mutations of the elites.
+/// Runs the deterministic synthesis loop. Identical to
+/// [`synthesize_with_telemetry`] with the work accounting dropped.
 ///
 /// # Panics
 ///
 /// Panics if `config` fails [`SynthesisConfig::validate`].
 pub fn synthesize(config: &SynthesisConfig, seed: u64) -> SynthesisResult {
+    synthesize_with_telemetry(config, seed).0
+}
+
+/// Runs the deterministic synthesis loop, also returning the incremental
+/// scorer's work accounting (summed over every evaluation of the run).
+///
+/// Seeds the population with the double-sided baseline and uniform n-sided
+/// rotations, then evolves it: score → rank (score, then canonical name, so
+/// ties never depend on insertion order) → keep elites → refill with seeded
+/// mutations of the elites. Scoring goes through [`evaluate_incremental`]:
+/// each freshly mutated child resumes from its parent's schedule-prefix
+/// checkpoints, and the telemetry records how much of the reference loop's
+/// work was skipped. The result — and the RNG stream — are bit-identical to
+/// scoring with the reference [`evaluate`].
+///
+/// # Panics
+///
+/// Panics if `config` fails [`SynthesisConfig::validate`].
+pub fn synthesize_with_telemetry(
+    config: &SynthesisConfig,
+    seed: u64,
+) -> (SynthesisResult, SynthTelemetry) {
     config
         .validate()
         .unwrap_or_else(|e| panic!("invalid synthesis config: {e}"));
     let mut rng = StdRng::seed_from_u64(seed ^ SYNTH_SEED_SALT);
 
-    let mut population: Vec<HammerPattern> = vec![HammerPattern::double_sided()];
+    // Each candidate carries the canonical name of the parent it was mutated
+    // from (`None` for presets and carried-over elites), so its evaluation
+    // can resume from the parent's schedule-prefix checkpoints.
+    let mut population: Vec<(HammerPattern, Option<String>)> =
+        vec![(HammerPattern::double_sided(), None)];
     for n in 3..=MAX_SIDES {
-        population.push(HammerPattern::uniform_n_sided(n));
+        population.push((HammerPattern::uniform_n_sided(n), None));
         let centered = HammerPattern::centered_n_sided(n);
-        if !population.contains(&centered) {
-            population.push(centered);
+        if !population.iter().any(|(p, _)| *p == centered) {
+            population.push((centered, None));
         }
     }
     // The preset seeds respect the configured population size (small search
@@ -333,24 +736,33 @@ pub fn synthesize(config: &SynthesisConfig, seed: u64) -> SynthesisResult {
     // filled with seeded mutations.
     population.truncate(config.population as usize);
     while population.len() < config.population as usize {
-        let parent = population[rng.gen_range(0..population.len())].clone();
-        population.push(mutate(&parent, &mut rng));
+        let (parent, _) = population[rng.gen_range(0..population.len())].clone();
+        let child = mutate(&parent, &mut rng);
+        population.push((child, Some(parent.canonical_name())));
     }
 
     // Evaluation is a pure function of (pattern, config), so each distinct
     // pattern is scored exactly once: carried-over elites and re-discovered
     // mutants hit the memo instead of re-running the bank simulation.
-    let mut score_memo: std::collections::BTreeMap<String, PatternScore> =
-        std::collections::BTreeMap::new();
+    let mut score_memo: BTreeMap<String, PatternScore> = BTreeMap::new();
+    let mut prefix_memo: BTreeMap<String, SchedulePrefixTrace> = BTreeMap::new();
+    let mut telemetry = SynthTelemetry::default();
     let mut evaluations = 0u32;
     let mut scored: Vec<(HammerPattern, PatternScore)> = Vec::new();
     for generation in 0..config.generations {
         scored = population
             .iter()
-            .map(|p| {
-                let score = *score_memo.entry(p.canonical_name()).or_insert_with(|| {
+            .map(|(p, parent)| {
+                let name = p.canonical_name();
+                let score = *score_memo.entry(name.clone()).or_insert_with(|| {
                     evaluations += 1;
-                    evaluate(p, config)
+                    let resume = parent.as_deref().and_then(|n| prefix_memo.get(n));
+                    let (score, trace, work) = evaluate_incremental(p, config, resume);
+                    telemetry.absorb(&work);
+                    if let Some(trace) = trace {
+                        prefix_memo.insert(name.clone(), trace);
+                    }
+                    score
                 });
                 (p.clone(), score)
             })
@@ -375,20 +787,24 @@ pub fn synthesize(config: &SynthesisConfig, seed: u64) -> SynthesisResult {
             .take(config.elites as usize)
             .map(|(p, _)| p.clone())
             .collect();
-        population = elites.clone();
+        population = elites.iter().map(|p| (p.clone(), None)).collect();
         while population.len() < config.population as usize {
             let parent = &elites[rng.gen_range(0..elites.len())];
-            population.push(mutate(parent, &mut rng));
+            let child = mutate(parent, &mut rng);
+            population.push((child, Some(parent.canonical_name())));
         }
     }
 
     let (best, score) = scored.swap_remove(0);
-    SynthesisResult {
-        best,
-        score,
-        evaluations,
-        generations: config.generations,
-    }
+    (
+        SynthesisResult {
+            best,
+            score,
+            evaluations,
+            generations: config.generations,
+        },
+        telemetry,
+    )
 }
 
 /// One seeded mutation of `parent`; falls back to a clone when every
@@ -547,6 +963,95 @@ mod tests {
         assert_eq!(serde_json::to_string(&decoded).unwrap(), json);
         assert!(synthesis_result_from_json("][").is_err());
         assert!(synthesis_result_from_json("{}").is_err());
+    }
+
+    #[test]
+    fn incremental_evaluation_matches_the_reference_oracle() {
+        let mut no_trr = trr_config();
+        no_trr.trr = TrrConfig::disabled();
+        let mut no_background = trr_config();
+        no_background.background_rows_per_round = 0;
+        let mut hair_trigger = trr_config();
+        hair_trigger.trr = TrrConfig::enabled(1, 1);
+        for config in [trr_config(), no_trr, no_background, hair_trigger] {
+            let mut rng = StdRng::seed_from_u64(17);
+            let mut patterns = vec![HammerPattern::double_sided()];
+            for n in 3..=MAX_SIDES {
+                patterns.push(HammerPattern::uniform_n_sided(n));
+                patterns.push(HammerPattern::centered_n_sided(n));
+            }
+            for _ in 0..60 {
+                let parent = patterns[rng.gen_range(0..patterns.len())].clone();
+                patterns.push(mutate(&parent, &mut rng));
+            }
+            for p in &patterns {
+                let (fast, trace, work) = evaluate_incremental(p, &config, None);
+                assert_eq!(fast, evaluate(p, &config), "{p} under {config:?}");
+                assert!(trace.is_some());
+                assert_eq!(work.fallbacks, 0);
+                assert!(
+                    work.ops_stepped < work.ops_total,
+                    "recurrence fast-forward must skip work for {p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_resumed_evaluation_is_bit_identical() {
+        let config = trr_config();
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut parent = HammerPattern::uniform_n_sided(5);
+        for _ in 0..80 {
+            let (_, trace, _) = evaluate_incremental(&parent, &config, None);
+            let child = mutate(&parent, &mut rng);
+            let (resumed, _, work) = evaluate_incremental(&child, &config, trace.as_ref());
+            assert_eq!(resumed, evaluate(&child, &config), "{parent} -> {child}");
+            let _ = work.ops_reused; // zero when the first schedule entry mutated
+            parent = child;
+        }
+    }
+
+    #[test]
+    fn stale_config_prefix_traces_are_ignored() {
+        let config = trr_config();
+        let pattern = HammerPattern::uniform_n_sided(4);
+        let (_, trace, _) = evaluate_incremental(&pattern, &config, None);
+        let mut other = config;
+        other.trr = TrrConfig::enabled(12, 2);
+        let (score, _, work) = evaluate_incremental(&pattern, &other, trace.as_ref());
+        assert_eq!(score, evaluate(&pattern, &other));
+        assert_eq!(
+            work.ops_reused, 0,
+            "a foreign config's trace must not resume"
+        );
+    }
+
+    #[test]
+    fn possible_window_rollover_falls_back_to_the_reference_loop() {
+        let mut config = trr_config();
+        // A window shorter than the evaluation span: rollovers would break
+        // the recurrence argument, so the scorer must run the oracle.
+        config.timings.refresh_window = 10_000;
+        let pattern = HammerPattern::double_sided();
+        let (score, trace, work) = evaluate_incremental(&pattern, &config, None);
+        assert_eq!(score, evaluate(&pattern, &config));
+        assert!(trace.is_none());
+        assert_eq!(work.fallbacks, 1);
+        assert_eq!(work.ops_stepped, work.ops_total);
+    }
+
+    #[test]
+    fn telemetry_shows_at_least_the_target_speedup() {
+        let config = trr_config();
+        let (result, telemetry) = synthesize_with_telemetry(&config, 0xDEAD);
+        assert_eq!(result, synthesize(&config, 0xDEAD));
+        assert_eq!(telemetry.fallbacks, 0);
+        assert!(telemetry.fast_forwards > 0);
+        assert!(
+            telemetry.speedup_x100() >= 500,
+            "incremental scoring must be >= 5x: {telemetry:?}"
+        );
     }
 
     #[test]

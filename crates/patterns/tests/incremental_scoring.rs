@@ -1,0 +1,124 @@
+//! Property tests pinning the incremental synthesizer scorer to its
+//! reference oracle: `evaluate_incremental` — with recurrence-keyed
+//! fast-forwarding and checkpointed prefix resumption — must be
+//! bit-identical to the full `evaluate` loop on randomized patterns,
+//! sampler shapes and evaluation budgets, including when one pattern's
+//! saved prefix trace seeds the evaluation of a mutated sibling.
+
+use proptest::prelude::*;
+
+use pthammer_dram::{DramTimings, TrrConfig};
+use pthammer_patterns::{evaluate, evaluate_incremental, HammerPattern, SynthesisConfig};
+
+/// Candidate aggressor offsets beyond the mandatory base pair `[0, 1]`.
+const EXTRA_OFFSETS: [i32; 12] = [-7, -6, -5, -4, -3, -2, -1, 2, 3, 4, 5, 6];
+
+/// Builds a valid pattern from raw draws: `[0, 1]` plus deduplicated extra
+/// offsets, then one coverage pass over every aggressor followed by the raw
+/// schedule draws, dropping immediate repeats (the validator rejects
+/// back-to-back touches — they would be row-buffer hits). The sanitization
+/// is prefix-local, so two raw schedules sharing a prefix still share a
+/// sanitized prefix — exactly the shape the synthesizer's mutations have.
+fn pattern(extra: &[usize], schedule_raw: &[usize]) -> HammerPattern {
+    let mut offsets = vec![0, 1];
+    for &i in extra {
+        let candidate = EXTRA_OFFSETS[i % EXTRA_OFFSETS.len()];
+        if !offsets.contains(&candidate) {
+            offsets.push(candidate);
+        }
+    }
+    let mut schedule: Vec<u8> = (0..offsets.len() as u8).collect();
+    for &s in schedule_raw {
+        let idx = (s % offsets.len()) as u8;
+        if schedule.last() != Some(&idx) {
+            schedule.push(idx);
+        }
+    }
+    schedule.truncate(16);
+    let pattern = HammerPattern { offsets, schedule };
+    pattern.validate().expect("generated pattern is valid");
+    pattern
+}
+
+/// A synthesis configuration over the randomized sampler/budget draws; the
+/// fast-test timings keep the refresh window far above any budget drawn
+/// here, so the incremental path never falls back.
+fn config(threshold: u32, capacity: usize, budget: u32, background: u32) -> SynthesisConfig {
+    SynthesisConfig {
+        trr: TrrConfig::enabled(threshold, capacity),
+        timings: DramTimings::fast_test(),
+        min_flip_threshold: 100,
+        eval_op_budget: budget,
+        background_rows_per_round: background,
+        spray_strides: 8,
+        generations: 2,
+        population: 4,
+        elites: 1,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(
+        if cfg!(debug_assertions) { 32 } else { 96 }
+    ))]
+
+    // Cold incremental evaluation (no prefix trace) must reproduce the
+    // reference oracle exactly — same score, for any pattern shape, TRR
+    // sampler geometry and op budget.
+    #[test]
+    fn incremental_scoring_matches_the_oracle(
+        extra in prop::collection::vec(any::<usize>(), 0..7),
+        schedule_raw in prop::collection::vec(any::<usize>(), 1..17),
+        threshold in 3u32..80,
+        capacity in 1usize..9,
+        budget in 16u32..2_048,
+        background in 0u32..5,
+    ) {
+        let pattern = pattern(&extra, &schedule_raw);
+        let config = config(threshold, capacity, budget, background);
+        let oracle = evaluate(&pattern, &config);
+        let (incremental, trace, work) = evaluate_incremental(&pattern, &config, None);
+        prop_assert_eq!(incremental, oracle);
+        prop_assert!(trace.is_some(), "fast-test timings must not fall back");
+        prop_assert_eq!(work.fallbacks, 0);
+        // Stepped and prefix-reused ops never exceed the reference loop's
+        // total (the remainder is fast-forwarded analytically).
+        prop_assert!(work.ops_stepped + work.ops_reused <= work.ops_total);
+    }
+
+    // Resuming from a sibling's checkpointed prefix trace must stay
+    // bit-identical to evaluating from scratch — for the mutation chains
+    // the synthesizer produces (parent pattern scored first, then a mutant
+    // sharing some schedule prefix) and for unrelated patterns sharing no
+    // prefix at all.
+    #[test]
+    fn prefix_resumed_scoring_matches_the_oracle(
+        extra in prop::collection::vec(any::<usize>(), 0..7),
+        parent_raw in prop::collection::vec(any::<usize>(), 1..17),
+        child_raw in prop::collection::vec(any::<usize>(), 1..17),
+        shared_prefix in any::<usize>(),
+        threshold in 3u32..80,
+        capacity in 1usize..9,
+        budget in 16u32..2_048,
+        background in 0u32..5,
+    ) {
+        let parent = pattern(&extra, &parent_raw);
+        // The child keeps a random-length prefix of the parent's schedule
+        // (the synthesizer's mutation shape) and diverges after it.
+        let keep = shared_prefix % (parent_raw.len() + 1);
+        let mut child_schedule = parent_raw[..keep.min(parent_raw.len())].to_vec();
+        child_schedule.extend_from_slice(&child_raw);
+        child_schedule.truncate(16);
+        let child = pattern(&extra, &child_schedule);
+
+        let config = config(threshold, capacity, budget, background);
+        let (_, parent_trace, _) = evaluate_incremental(&parent, &config, None);
+        let parent_trace = parent_trace.expect("fast-test timings must not fall back");
+
+        let oracle = evaluate(&child, &config);
+        let (resumed, _, _) = evaluate_incremental(&child, &config, Some(&parent_trace));
+        let (cold, _, _) = evaluate_incremental(&child, &config, None);
+        prop_assert_eq!(&resumed, &oracle);
+        prop_assert_eq!(&cold, &oracle);
+    }
+}
